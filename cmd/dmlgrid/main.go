@@ -1,0 +1,89 @@
+// Command dmlgrid validates a DML grid description (the MicroGrid-style
+// configuration format) and prints the resulting resource inventory,
+// routes, and an NWS snapshot after a warm-up period.
+//
+// Usage:
+//
+//	dmlgrid path/to/grid.dml
+//	dmlgrid -warmup 120 path/to/grid.dml
+//	echo 'site A bw=1Gb lat=100us ...' | dmlgrid -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"grads/internal/nws"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+func main() {
+	warmup := flag.Float64("warmup", 60, "virtual seconds of NWS measurements before the snapshot")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dmlgrid [-warmup s] <file.dml | ->")
+		os.Exit(2)
+	}
+
+	var text []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		text, err = io.ReadAll(os.Stdin)
+	} else {
+		text, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmlgrid:", err)
+		os.Exit(1)
+	}
+
+	sim := simcore.New(1)
+	grid, err := topology.ParseDML(sim, string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmlgrid:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("grid: %d sites, %d nodes\n\n", len(grid.Sites()), len(grid.Nodes()))
+	for _, site := range grid.Sites() {
+		fmt.Printf("site %-8s LAN %.1f MB/s, %.2f ms, %d nodes\n",
+			site.Name, site.LAN.Capacity()/1e6, site.LAN.Latency()*1e3, len(site.Nodes()))
+		for _, n := range site.Nodes() {
+			fmt.Printf("  %-12s %-5s %6.0f MHz  %6.2f Gflop/s  %6.0f MB  L2 %d KB\n",
+				n.Name(), n.Spec.Arch, n.Spec.MHz, n.Spec.Flops()/1e9,
+				n.Spec.MemMB, n.Spec.Cache.L2KB)
+		}
+	}
+
+	fmt.Println("\nWAN links:")
+	sites := grid.Sites()
+	for i := range sites {
+		for j := i + 1; j < len(sites); j++ {
+			if w := grid.WAN(sites[i].Name, sites[j].Name); w != nil {
+				fmt.Printf("  %s <-> %s  %.2f MB/s, %.1f ms\n",
+					sites[i].Name, sites[j].Name, w.Capacity()/1e6, w.Latency()*1e3)
+			}
+		}
+	}
+
+	if *warmup > 0 && len(grid.Nodes()) > 1 {
+		weather := nws.Start(sim, grid, 10)
+		sim.RunUntil(*warmup)
+		fmt.Printf("\nNWS snapshot after %.0fs of measurements:\n", *warmup)
+		for i := range sites {
+			for j := i + 1; j < len(sites); j++ {
+				if grid.WAN(sites[i].Name, sites[j].Name) == nil {
+					continue
+				}
+				fmt.Printf("  %s <-> %s  forecast %.2f MB/s, %.1f ms\n",
+					sites[i].Name, sites[j].Name,
+					weather.BandwidthForecast(sites[i].Name, sites[j].Name)/1e6,
+					weather.LatencyForecast(sites[i].Name, sites[j].Name)*1e3)
+			}
+		}
+		weather.Stop()
+	}
+}

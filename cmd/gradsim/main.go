@@ -1,0 +1,55 @@
+// Command gradsim regenerates the paper's tables and figures on the
+// emulated Grid.
+//
+// Usage:
+//
+//	gradsim -exp fig3            # Figure 3 phase breakdown
+//	gradsim -exp fig3-decisions  # §4.1.2 rescheduler decision table
+//	gradsim -exp fig4            # Figure 4 N-body progress trace
+//	gradsim -exp eman            # §3.3 EMAN workflow scheduling
+//	gradsim -exp eman-dag        # Figure 2 workflow structure
+//	gradsim -exp heuristics      # §3.1 heuristic ablation
+//	gradsim -exp swap-policies   # §4.2 swapping-policy ablation
+//	gradsim -exp opportunistic   # §4.1.1 opportunistic rescheduling
+//	gradsim -exp all             # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"grads"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run ('all' or one of: "+
+		strings.Join(grads.Experiments(), ", ")+")")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	csv := flag.Bool("csv", false, "emit CSV instead of a formatted table (tabular experiments only)")
+	flag.Parse()
+
+	if *list {
+		for _, name := range grads.Experiments() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	var out string
+	var err error
+	switch {
+	case *csv:
+		out, err = grads.RunExperimentCSV(*exp)
+	case *exp == "all":
+		out, err = grads.RunAll()
+	default:
+		out, err = grads.RunExperiment(*exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gradsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

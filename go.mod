@@ -1,0 +1,3 @@
+module grads
+
+go 1.22

@@ -1,0 +1,237 @@
+// Package grads is a from-scratch Go reproduction of the system described
+// in "New Grid Scheduling and Rescheduling Methods in the GrADS Project"
+// (IPPS/IPDPS 2004): the GrADS execution framework — workflow scheduling
+// with performance-model-driven ranks and the min-min/max-min/sufferage
+// heuristics, performance-contract monitoring, stop/migrate/restart
+// rescheduling via SRS checkpointing, and MPI process-swapping — together
+// with every substrate the paper's evaluation depends on, implemented over
+// a deterministic discrete-event Grid emulator (our MicroGrid equivalent).
+//
+// The implementation lives under internal/; this package provides the
+// top-level entry points used by cmd/gradsim and the benchmarks:
+//
+//	out, err := grads.RunExperiment("fig3")   // regenerate Figure 3
+//	fmt.Print(out)
+//
+// See DESIGN.md for the full system inventory and the per-experiment index,
+// and EXPERIMENTS.md for paper-versus-measured results.
+package grads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"grads/internal/apps"
+	"grads/internal/experiments"
+)
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"
+
+// Experiments enumerates the runnable experiment names, each regenerating
+// one table or figure of the paper (see DESIGN.md §3 for the mapping).
+func Experiments() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// registry maps experiment names to drivers producing formatted output.
+var registry = map[string]func() (string, error){
+	"fig3": func() (string, error) {
+		rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
+		if err != nil {
+			return "", err
+		}
+		return "Figure 3 — QR stop/restart, phase breakdown per matrix size\n" +
+			"(left bar = no rescheduling, right bar = rescheduling)\n\n" +
+			experiments.FormatFig3(rows), nil
+	},
+	"fig3-decisions": func() (string, error) {
+		rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
+		if err != nil {
+			return "", err
+		}
+		return "§4.1.2 — rescheduler decisions vs ground truth per matrix size\n\n" +
+			experiments.FormatFig3Decisions(rows), nil
+	},
+	"fig4": func() (string, error) {
+		r, err := experiments.RunFig4(experiments.DefaultFig4Config())
+		if err != nil {
+			return "", err
+		}
+		return "Figure 4 — N-body progress under process swapping (MicroGrid)\n\n" +
+			experiments.FormatFig4(r, 20), nil
+	},
+	"eman": func() (string, error) {
+		res, err := experiments.RunEMAN(experiments.DefaultEMANConfig())
+		if err != nil {
+			return "", err
+		}
+		return "§3.3 — EMAN refinement workflow on the heterogeneous MacroGrid\n\n" +
+			experiments.FormatEMAN(res), nil
+	},
+	"eman-dag": func() (string, error) {
+		cfg := experiments.DefaultEMANConfig()
+		wf, err := apps.EMANWorkflow(cfg.Particles, cfg.Width)
+		if err != nil {
+			return "", err
+		}
+		return "Figure 2 — EMAN refinement workflow (expanded " +
+			fmt.Sprintf("%d-way)\n\n", cfg.Width) +
+			experiments.FormatEMANDag(wf.Expand()), nil
+	},
+	"heuristics": func() (string, error) {
+		cfg := experiments.DefaultHeurConfig()
+		res, err := experiments.RunHeuristics(cfg)
+		if err != nil {
+			return "", err
+		}
+		w, err := experiments.RunRankWeights(cfg, nil)
+		if err != nil {
+			return "", err
+		}
+		return "§3.1 ablation — mapping heuristics on random workflows\n\n" +
+			experiments.FormatHeuristics(res) + "\nrank-weight sweep (w2 = data-cost weight):\n\n" +
+			experiments.FormatRankWeights(w), nil
+	},
+	"swap-policies": func() (string, error) {
+		res, err := experiments.RunSwapPolicies(experiments.DefaultFig4Config())
+		if err != nil {
+			return "", err
+		}
+		return "§4.2 ablation — swapping policies on the Figure 4 scenario\n\n" +
+			experiments.FormatSwapPolicies(res), nil
+	},
+	"opportunistic": func() (string, error) {
+		r, err := experiments.RunOpportunistic(experiments.DefaultOpportunisticConfig())
+		if err != nil {
+			return "", err
+		}
+		return "§4.1.1 — opportunistic rescheduling onto freed resources\n\n" +
+			experiments.FormatOpportunistic(r), nil
+	},
+	"fault": func() (string, error) {
+		res, err := experiments.RunFault(experiments.DefaultFaultConfig())
+		if err != nil {
+			return "", err
+		}
+		return "extension (paper conclusion) — fault tolerance: node crash +\n" +
+			"recovery from periodic SRS checkpoints\n\n" +
+			experiments.FormatFault(res), nil
+	},
+	"validation": func() (string, error) {
+		r, err := experiments.RunValidation(experiments.DefaultFig4Config())
+		if err != nil {
+			return "", err
+		}
+		return "§1/§4.2 — MicroGrid-vs-MacroGrid cross-validation of the swap scenario\n\n" +
+			experiments.FormatValidation(r), nil
+	},
+	"weather": func() (string, error) {
+		res, err := experiments.RunWeather(experiments.DefaultWeatherConfig())
+		if err != nil {
+			return "", err
+		}
+		return "ablation — why migration decisions use NWS forecasts: bursty WAN\n" +
+			"cross traffic, decisions sampled mid-spike vs a time-averaged oracle\n\n" +
+			experiments.FormatWeather(res), nil
+	},
+	"economy": func() (string, error) {
+		res, err := experiments.RunEconomy(experiments.DefaultEconomyConfig())
+		if err != nil {
+			return "", err
+		}
+		return "extension (paper conclusion, cites G-commerce [24]) — Grid economies:\n" +
+			"commodities market vs auctions under fluctuating demand\n\n" +
+			experiments.FormatEconomy(res), nil
+	},
+}
+
+// RunExperiment regenerates one experiment by name and returns its
+// formatted report.
+func RunExperiment(name string) (string, error) {
+	fn, ok := registry[name]
+	if !ok {
+		return "", fmt.Errorf("grads: unknown experiment %q (have: %s)",
+			name, strings.Join(Experiments(), ", "))
+	}
+	return fn()
+}
+
+// csvRegistry maps the tabular experiments to CSV producers (for plotting
+// the figures with external tools).
+var csvRegistry = map[string]func() (string, error){
+	"fig3-decisions": func() (string, error) {
+		rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
+		if err != nil {
+			return "", err
+		}
+		t := &experiments.Table{Header: []string{"n", "stay_s", "migrate_s", "helps", "worstcase_migrates", "honest_migrates", "est_cost_s", "actual_cost_s"}}
+		for _, r := range rows {
+			t.Add(fmt.Sprint(r.N), fmt.Sprint(r.StayTotal), fmt.Sprint(r.MigrateTotal),
+				fmt.Sprint(r.MigrationHelps), fmt.Sprint(r.WorstCaseDecision),
+				fmt.Sprint(r.HonestDecision), fmt.Sprint(r.HonestCost), fmt.Sprint(r.ActualCost))
+		}
+		return t.CSV(), nil
+	},
+	"fig4": func() (string, error) {
+		r, err := experiments.RunFig4(experiments.DefaultFig4Config())
+		if err != nil {
+			return "", err
+		}
+		base := map[int]float64{}
+		for _, m := range r.Baseline {
+			base[m.Iter] = m.Time
+		}
+		t := &experiments.Table{Header: []string{"iteration", "t_with_swap_s", "t_no_swap_s"}}
+		for _, m := range r.Progress {
+			t.Add(fmt.Sprint(m.Iter), fmt.Sprint(m.Time), fmt.Sprint(base[m.Iter]))
+		}
+		return t.CSV(), nil
+	},
+	"fault": func() (string, error) {
+		res, err := experiments.RunFault(experiments.DefaultFaultConfig())
+		if err != nil {
+			return "", err
+		}
+		t := &experiments.Table{Header: []string{"interval_panels", "total_s", "lost_work_s", "ckpt_write_s", "restore_s", "recoveries"}}
+		for _, r := range res {
+			t.Add(fmt.Sprint(r.Interval), fmt.Sprint(r.Total), fmt.Sprint(r.LostWork),
+				fmt.Sprint(r.CkptWrite), fmt.Sprint(r.CkptRead), fmt.Sprint(r.Recoveries))
+		}
+		return t.CSV(), nil
+	},
+}
+
+// RunExperimentCSV regenerates one tabular experiment as CSV. Experiments
+// without a CSV form return an error listing those that have one.
+func RunExperimentCSV(name string) (string, error) {
+	fn, ok := csvRegistry[name]
+	if !ok {
+		names := make([]string, 0, len(csvRegistry))
+		for n := range csvRegistry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return "", fmt.Errorf("grads: no CSV form for %q (have: %s)", name, strings.Join(names, ", "))
+	}
+	return fn()
+}
+
+// RunAll regenerates every experiment, concatenating the reports.
+func RunAll() (string, error) {
+	var b strings.Builder
+	for _, name := range Experiments() {
+		out, err := RunExperiment(name)
+		if err != nil {
+			return b.String(), fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(&b, "==== %s ====\n\n%s\n", name, out)
+	}
+	return b.String(), nil
+}

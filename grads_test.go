@@ -1,0 +1,67 @@
+package grads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsList(t *testing.T) {
+	names := Experiments()
+	if len(names) < 8 {
+		t.Fatalf("only %d experiments registered: %v", len(names), names)
+	}
+	for _, want := range []string{"fig3", "fig3-decisions", "fig4", "eman", "heuristics",
+		"swap-policies", "opportunistic", "fault", "validation"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("experiment %q missing from %v", want, names)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("experiment list not sorted: %v", names)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("figure-9000"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := RunExperimentCSV("eman-dag"); err == nil {
+		t.Fatal("CSV for a non-tabular experiment accepted")
+	}
+}
+
+func TestRunExperimentProducesReport(t *testing.T) {
+	out, err := RunExperiment("eman-dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "classesbymra") {
+		t.Fatalf("eman-dag output missing components:\n%s", out)
+	}
+}
+
+func TestRunExperimentCSVWellFormed(t *testing.T) {
+	out, err := RunExperimentCSV("fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("fault CSV has %d lines", len(lines))
+	}
+	cols := strings.Count(lines[0], ",")
+	for i, l := range lines {
+		if strings.Count(l, ",") != cols {
+			t.Fatalf("line %d has wrong column count: %q", i, l)
+		}
+	}
+}

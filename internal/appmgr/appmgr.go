@@ -1,0 +1,205 @@
+// Package appmgr implements the GrADS application manager: the right-hand
+// side of Figure 1. Given a COP and a resource pool it performs resource
+// selection (mapper + performance model), invokes the binder to tailor and
+// instrument the program on the chosen nodes, launches it (with the MPI
+// synchronization when required), and — when an execution segment ends in
+// an SRS stop — repeats the cycle on the resources the rescheduler chose.
+// Every phase is timed, producing exactly the Figure 3 breakdown.
+package appmgr
+
+import (
+	"errors"
+	"fmt"
+
+	"grads/internal/binder"
+	"grads/internal/cop"
+	"grads/internal/mpi"
+	"grads/internal/nws"
+	"grads/internal/simcore"
+	"grads/internal/srs"
+	"grads/internal/topology"
+)
+
+// Phase names used in reports (the Figure 3 legend, plus the
+// fault-tolerance extension's recovery phase).
+const (
+	PhaseResourceSelection = "resource selection"
+	PhasePerfModeling      = "performance modeling"
+	PhaseGridOverhead      = "grid overhead"
+	PhaseAppStart          = "application start"
+	PhaseCkptWrite         = "checkpoint writing"
+	PhaseCkptRead          = "checkpoint reading"
+	PhaseAppDuration       = "application duration"
+	PhaseLostWork          = "lost work" // execution discarded by a failure
+)
+
+// PhaseRecord times one phase of one execution segment.
+type PhaseRecord struct {
+	Run      int // 1 for the initial execution, 2 after the first restart...
+	Name     string
+	Duration float64
+}
+
+// Report is the outcome of a managed execution.
+type Report struct {
+	Phases   []PhaseRecord
+	Runs     int
+	Total    float64 // end-to-end virtual time including all overheads
+	Migrated bool
+	Failures int // node failures survived (fault-tolerance extension)
+}
+
+// Sum returns the summed duration of a phase across all runs (or one run if
+// run > 0).
+func (r *Report) Sum(name string, run int) float64 {
+	sum := 0.0
+	for _, p := range r.Phases {
+		if p.Name == name && (run == 0 || p.Run == run) {
+			sum += p.Duration
+		}
+	}
+	return sum
+}
+
+// Manager drives COP executions.
+type Manager struct {
+	Sim     *simcore.Sim
+	Grid    *topology.Grid
+	Binder  *binder.Binder
+	Weather *nws.Service
+
+	// MPISyncTime is the global synchronization cost before launching an
+	// MPI application (§2).
+	MPISyncTime float64
+	// LaunchTime is the per-segment process start cost.
+	LaunchTime float64
+	// ModelEvalTime is the cost of one performance-model evaluation during
+	// resource selection (the mapper evaluates the pool once).
+	ModelEvalTime float64
+
+	// NextNodes, when set, overrides the mapper for the next segment (the
+	// rescheduler decided where to restart).
+	NextNodes []*topology.Node
+
+	// RSS, when set, is cleared between segments so the restarted
+	// execution does not immediately see the stale stop request.
+	RSS *srs.RSS
+}
+
+// New creates a manager with defaults calibrated to the paper's "Grid
+// overhead" magnitudes (tens of seconds).
+func New(sim *simcore.Sim, grid *topology.Grid, b *binder.Binder, w *nws.Service) *Manager {
+	return &Manager{
+		Sim:           sim,
+		Grid:          grid,
+		Binder:        b,
+		Weather:       w,
+		MPISyncTime:   5,
+		LaunchTime:    3,
+		ModelEvalTime: 10,
+	}
+}
+
+// avail returns the availability forecast function for mappers.
+func (m *Manager) avail(n *topology.Node) float64 {
+	if m.Weather != nil {
+		return m.Weather.CPUForecast(n.Name())
+	}
+	return n.CPU.Availability()
+}
+
+// Execute runs the COP to completion from the calling process, restarting
+// after every SRS stop and recovering from node failures when the COP is
+// cop.Recoverable, and returns the phase report. pool is the resource
+// universe the mapper selects from.
+func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (*Report, error) {
+	rep := &Report{}
+	start := p.Now()
+	restartNext := false
+	for run := 1; ; run++ {
+		rep.Runs = run
+		record := func(name string, d float64) {
+			rep.Phases = append(rep.Phases, PhaseRecord{Run: run, Name: name, Duration: d})
+		}
+
+		// Resource selection: the mapper picks nodes from the pool.
+		t0 := p.Now()
+		var nodes []*topology.Node
+		if m.NextNodes != nil {
+			nodes = m.NextNodes
+			m.NextNodes = nil
+		} else {
+			nodes = app.Mapper().Map(pool, m.avail)
+		}
+		if len(nodes) == 0 {
+			return rep, fmt.Errorf("appmgr: mapper selected no resources for %s", app.Name())
+		}
+		if err := p.Sleep(2); err != nil { // MDS/NWS queries
+			return rep, err
+		}
+		record(PhaseResourceSelection, p.Now()-t0)
+
+		// Performance modeling: evaluate the COP's model on the choice.
+		t0 = p.Now()
+		app.Model().RemainingTime(nodes, m.avail)
+		if err := p.Sleep(m.ModelEvalTime); err != nil {
+			return rep, err
+		}
+		record(PhasePerfModeling, p.Now()-t0)
+
+		// Grid overhead: the distributed binder tailors the COP per node.
+		t0 = p.Now()
+		bres, err := m.Binder.Bind(p, app.Pkg(), nodes)
+		if err != nil {
+			return rep, err
+		}
+		record(PhaseGridOverhead, p.Now()-t0)
+
+		// Application start: MPI synchronization plus process launch.
+		t0 = p.Now()
+		startCost := m.LaunchTime
+		if bres.MPISyncNeeded {
+			startCost += m.MPISyncTime
+		}
+		if err := p.Sleep(startCost); err != nil {
+			return rep, err
+		}
+		record(PhaseAppStart, p.Now()-t0)
+
+		// Application execution segment.
+		segStart := p.Now()
+		rr, err := app.Run(p, nodes, restartNext)
+		if err != nil {
+			// Node failure: if the COP can roll back to a committed
+			// checkpoint, discard the segment and re-run the lifecycle on
+			// the surviving resources.
+			rec, recoverable := app.(cop.Recoverable)
+			if !recoverable || !errors.Is(err, mpi.ErrNodeLost) {
+				return rep, err
+			}
+			rep.Failures++
+			record(PhaseLostWork, p.Now()-segStart)
+			restartNext = rec.Rollback()
+			if m.RSS != nil {
+				m.RSS.ClearStop()
+			}
+			continue
+		}
+		if rr.CkptRead > 0 {
+			record(PhaseCkptRead, rr.CkptRead)
+		}
+		record(PhaseAppDuration, rr.Duration)
+		if rr.CkptWrite > 0 {
+			record(PhaseCkptWrite, rr.CkptWrite)
+		}
+		if !rr.Stopped {
+			rep.Total = p.Now() - start
+			return rep, nil
+		}
+		rep.Migrated = true
+		restartNext = true
+		if m.RSS != nil {
+			m.RSS.ClearStop()
+		}
+	}
+}

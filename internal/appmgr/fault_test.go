@@ -1,0 +1,109 @@
+package appmgr
+
+import (
+	"testing"
+
+	"grads/internal/simcore"
+)
+
+// TestRecoveryWithPeriodicCheckpoints: a node dies mid-run; the manager
+// rolls the QR back to its last committed checkpoint, remaps onto the
+// surviving resources and finishes.
+func TestRecoveryWithPeriodicCheckpoints(t *testing.T) {
+	r := newRig(t, 4000)
+	r.qr.CheckpointEvery = 5
+	r.mgr.RSS = r.rss
+
+	// Kill the first scheduled node 60 s after the app starts making
+	// progress (the app runs ~160 s total).
+	r.sim.Spawn("chaos", func(p *simcore.Proc) {
+		for r.qr.DonePanels() == 0 {
+			if p.Sleep(1) != nil {
+				return
+			}
+		}
+		if p.Sleep(60) != nil {
+			return
+		}
+		if n := r.qr.FailCurrentNode(0); n == 0 {
+			t.Error("no process was killed by the failure")
+		}
+	})
+
+	var rep *Report
+	r.sim.Spawn("user", func(p *simcore.Proc) {
+		got, err := r.mgr.Execute(p, r.qr, r.grid.Nodes())
+		if err != nil {
+			t.Errorf("Execute did not recover: %v", err)
+			return
+		}
+		rep = got
+	})
+	r.sim.Run()
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", rep.Failures)
+	}
+	if rep.Runs < 2 {
+		t.Fatalf("runs = %d, want a recovery segment", rep.Runs)
+	}
+	if r.qr.DonePanels() != r.qr.Panels() {
+		t.Fatalf("finished %d of %d panels", r.qr.DonePanels(), r.qr.Panels())
+	}
+	// The recovery segment must have restored from checkpoints.
+	if rep.Sum(PhaseCkptRead, 0) <= 0 {
+		t.Fatal("recovery did not read checkpoints")
+	}
+	if rep.Sum(PhaseLostWork, 0) <= 0 {
+		t.Fatal("lost work not recorded")
+	}
+	// The dead node must not be selected again.
+	for _, n := range r.qr.CurNodes() {
+		if n.Down() {
+			t.Fatalf("restarted on the failed node %s", n.Name())
+		}
+	}
+}
+
+// TestRecoveryWithoutCheckpointsRestartsFromScratch: no periodic
+// checkpoints; the failure discards all progress but the run still
+// completes.
+func TestRecoveryWithoutCheckpointsRestartsFromScratch(t *testing.T) {
+	r := newRig(t, 2000)
+	r.mgr.RSS = r.rss
+	r.sim.Spawn("chaos", func(p *simcore.Proc) {
+		for r.qr.DonePanels() == 0 {
+			if p.Sleep(1) != nil {
+				return
+			}
+		}
+		p.Sleep(5) // the N=2000 run lasts ~19 s; land mid-run
+		if n := r.qr.FailCurrentNode(0); n == 0 {
+			t.Error("failure injection missed the running world")
+		}
+	})
+	var rep *Report
+	r.sim.Spawn("user", func(p *simcore.Proc) {
+		got, err := r.mgr.Execute(p, r.qr, r.grid.Nodes())
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+			return
+		}
+		rep = got
+	})
+	r.sim.Run()
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Failures != 1 {
+		t.Fatalf("failures = %d", rep.Failures)
+	}
+	if rep.Sum(PhaseCkptRead, 0) != 0 {
+		t.Fatal("restart from scratch should not read checkpoints")
+	}
+	if r.qr.DonePanels() != r.qr.Panels() {
+		t.Fatalf("finished %d of %d panels", r.qr.DonePanels(), r.qr.Panels())
+	}
+}

@@ -1,0 +1,57 @@
+package apps
+
+import (
+	"fmt"
+
+	"grads/internal/mpi"
+	"grads/internal/swap"
+)
+
+// NBody is the iterative N-body simulation used by the §4.2 process-swapping
+// experiments: each iteration every active process computes the pairwise
+// forces for its share of the bodies and the positions are exchanged with an
+// all-gather.
+type NBody struct {
+	Bodies       int
+	Iterations   int
+	FlopsPerPair float64 // operations per body-pair interaction
+}
+
+// NewNBody creates the benchmark configuration.
+func NewNBody(bodies, iterations int) *NBody {
+	return &NBody{Bodies: bodies, Iterations: iterations, FlopsPerPair: 20}
+}
+
+// IterFlops returns the total operation count of one iteration (O(n²)
+// direct summation).
+func (nb *NBody) IterFlops() float64 {
+	n := float64(nb.Bodies)
+	return nb.FlopsPerPair * n * n
+}
+
+// PositionBytes returns the volume of the per-iteration position exchange
+// contributed by each process (3 doubles per body over P processes).
+func (nb *NBody) PositionBytes(nProcs int) float64 {
+	return float64(nb.Bodies) * 24 / float64(nProcs)
+}
+
+// StateBytes returns the per-process application state a swap must move
+// (positions, velocities and masses of the process's share of the bodies).
+func (nb *NBody) StateBytes(nProcs int) float64 {
+	return float64(nb.Bodies) * 56 / float64(nProcs)
+}
+
+// Body returns the swap-runtime iteration body for an active set of
+// nActive processes.
+func (nb *NBody) Body(nActive int) swap.Body {
+	return func(ctx *mpi.Ctx, comm *mpi.Comm, vrank, iter int) error {
+		if comm.Size() != nActive {
+			return fmt.Errorf("nbody: active set size %d, expected %d", comm.Size(), nActive)
+		}
+		if err := ctx.Compute(nb.IterFlops() / float64(nActive)); err != nil {
+			return err
+		}
+		_, err := comm.Allgather(ctx, nb.PositionBytes(nActive), nil)
+		return err
+	}
+}

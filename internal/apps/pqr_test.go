@@ -1,0 +1,135 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grads/internal/linalg"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// pqrGrid builds a small single-site grid with p nodes.
+func pqrGrid(p int) (*simcore.Sim, *topology.Grid, []*topology.Node) {
+	sim := simcore.New(1)
+	g := topology.NewGrid(sim)
+	g.AddSite("A", 1e8, 1e-4)
+	var nodes []*topology.Node
+	for i := 0; i < p; i++ {
+		nodes = append(nodes, g.AddNode(topology.NodeSpec{
+			Name: "n" + string(rune('a'+i)), Site: "A", MHz: 1000, FlopsPerCycle: 1,
+		}))
+	}
+	return sim, g, nodes
+}
+
+// checkRTR verifies AᵀA == RᵀR (the QR identity that does not need Q).
+func checkRTR(t testing.TB, a, r *linalg.Matrix, tol float64) {
+	t.Helper()
+	ata := a.Transpose().Mul(a)
+	rtr := r.Transpose().Mul(r)
+	if diff := ata.MaxAbsDiff(rtr); diff > tol {
+		t.Fatalf("AᵀA vs RᵀR differ by %v", diff)
+	}
+}
+
+func TestParallelQRMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := linalg.Random(rng, 40, 40)
+	sim, g, nodes := pqrGrid(4)
+	res, err := RunParallelQR(sim, g, nodes, a, 5)
+	if err != nil {
+		t.Fatalf("RunParallelQR: %v", err)
+	}
+	checkRTR(t, a, res.R, 1e-9)
+	// R is upper triangular.
+	for i := 0; i < res.R.Rows; i++ {
+		for j := 0; j < i && j < res.R.Cols; j++ {
+			if res.R.At(i, j) != 0 {
+				t.Fatalf("R(%d,%d) = %v below diagonal", i, j, res.R.At(i, j))
+			}
+		}
+	}
+	// Same factor as the sequential QR up to row signs.
+	_, rSeq := linalg.QR(a)
+	for i := 0; i < 40; i++ {
+		signP, signS := 1.0, 1.0
+		if res.R.At(i, i) < 0 {
+			signP = -1
+		}
+		if rSeq.At(i, i) < 0 {
+			signS = -1
+		}
+		for j := i; j < 40; j++ {
+			d := signP*res.R.At(i, j) - signS*rSeq.At(i, j)
+			if d > 1e-9 || d < -1e-9 {
+				t.Fatalf("R mismatch at (%d,%d): %v vs %v", i, j, res.R.At(i, j), rSeq.At(i, j))
+			}
+		}
+	}
+	if res.VirtualTime <= 0 || res.Flops <= 0 || res.BytesMoved <= 0 {
+		t.Fatalf("costs not charged: %+v", res)
+	}
+}
+
+func TestParallelQRTallMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := linalg.Random(rng, 50, 20)
+	sim, g, nodes := pqrGrid(3)
+	res, err := RunParallelQR(sim, g, nodes, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRTR(t, a, res.R, 1e-9)
+}
+
+func TestParallelQRSingleRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := linalg.Random(rng, 16, 16)
+	sim, g, nodes := pqrGrid(1)
+	res, err := RunParallelQR(sim, g, nodes, a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRTR(t, a, res.R, 1e-10)
+}
+
+func TestParallelQRBadArgs(t *testing.T) {
+	sim, g, nodes := pqrGrid(2)
+	a := linalg.NewMatrix(4, 4)
+	if _, err := RunParallelQR(sim, g, nil, a, 2); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := RunParallelQR(sim, g, nodes, a, 0); err == nil {
+		t.Fatal("bad block size accepted")
+	}
+}
+
+// Property: for random shapes, block sizes and rank counts, the distributed
+// factorization preserves AᵀA = RᵀR.
+func TestQuickParallelQRIdentity(t *testing.T) {
+	f := func(seed int64, mRaw, nRaw, nbRaw, pRaw uint8) bool {
+		m := int(mRaw%12) + 4
+		n := int(nRaw%10) + 2
+		if n > m {
+			n = m
+		}
+		nb := int(nbRaw%4) + 1
+		p := int(pRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := linalg.Random(rng, m, n)
+		sim, g, nodes := pqrGrid(p)
+		res, err := RunParallelQR(sim, g, nodes, a, nb)
+		if err != nil {
+			return false
+		}
+		ata := a.Transpose().Mul(a)
+		rtr := res.R.Transpose().Mul(res.R)
+		return ata.MaxAbsDiff(rtr) < 1e-8
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(91))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

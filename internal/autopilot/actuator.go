@@ -1,0 +1,89 @@
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+
+	"grads/internal/simcore"
+)
+
+// Actuator applies one optimization command to the running system —
+// Autopilot's third element beside sensors and the decision mechanism
+// ("actuators for implementing optimization commands"). The argument is
+// decision-dependent (for the contract monitor it is the fuzzy violation
+// severity).
+type Actuator struct {
+	Name  string
+	Apply func(arg float64) error
+}
+
+// Actuation is one logged actuator invocation.
+type Actuation struct {
+	Time float64
+	Name string
+	Arg  float64
+	Err  error
+}
+
+// ActuatorRegistry holds the system's actuators and logs every invocation.
+type ActuatorRegistry struct {
+	sim  *simcore.Sim
+	acts map[string]*Actuator
+	log  []Actuation
+}
+
+// NewActuatorRegistry creates an empty registry.
+func NewActuatorRegistry(sim *simcore.Sim) *ActuatorRegistry {
+	return &ActuatorRegistry{sim: sim, acts: make(map[string]*Actuator)}
+}
+
+// Register adds an actuator; re-registering a name replaces it.
+func (r *ActuatorRegistry) Register(a *Actuator) {
+	if a == nil || a.Name == "" || a.Apply == nil {
+		panic("autopilot: invalid actuator")
+	}
+	r.acts[a.Name] = a
+}
+
+// Names returns the registered actuator names, sorted.
+func (r *ActuatorRegistry) Names() []string {
+	out := make([]string, 0, len(r.acts))
+	for n := range r.acts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Invoke applies the named actuator and logs the outcome.
+func (r *ActuatorRegistry) Invoke(name string, arg float64) error {
+	a, ok := r.acts[name]
+	var err error
+	if !ok {
+		err = fmt.Errorf("autopilot: no actuator %q", name)
+	} else {
+		err = a.Apply(arg)
+	}
+	r.log = append(r.log, Actuation{Time: r.sim.Now(), Name: name, Arg: arg, Err: err})
+	return err
+}
+
+// Log returns the invocation history.
+func (r *ActuatorRegistry) Log() []Actuation { return append([]Actuation(nil), r.log...) }
+
+// RescheduleActuator is the actuator name the contract monitor invokes on a
+// violation when wired to a registry.
+const RescheduleActuator = "reschedule"
+
+// UseActuators routes this monitor's violations through a registry: on a
+// contract violation the monitor invokes the RescheduleActuator with the
+// fuzzy severity as argument; a nil error from the actuator counts as
+// corrective action taken. An explicitly set OnViolation takes precedence.
+func (m *Monitor) UseActuators(r *ActuatorRegistry) {
+	m.actuators = r
+}
+
+// actViaRegistry is the registry-backed violation path.
+func (m *Monitor) actViaRegistry(v Violation) bool {
+	return m.actuators.Invoke(RescheduleActuator, v.Severity) == nil
+}

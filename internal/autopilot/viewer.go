@@ -1,0 +1,84 @@
+package autopilot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TickRecord is one contract-verification step, as recorded for the
+// contract viewer (the paper ships "a Java-based Contract Viewer GUI to
+// visualize the performance contract validation activity in real-time";
+// this package substitutes a terminal renderer over the same data).
+type TickRecord struct {
+	Time      float64
+	Ratio     float64
+	Lower     float64
+	Upper     float64
+	Severity  float64
+	Violation bool
+}
+
+// Trace returns the recorded verification steps.
+func (m *Monitor) Trace() []TickRecord { return append([]TickRecord(nil), m.trace...) }
+
+// recordTick appends to the viewer trace.
+func (m *Monitor) recordTick(r TickRecord) { m.trace = append(m.trace, r) }
+
+// FormatTrace renders a contract-validation timeline: one row per
+// verification step with a bar visualizing the measured ratio against the
+// tolerance band. width is the bar width in cells (the bar spans ratio
+// values 0..maxRatio).
+func FormatTrace(records []TickRecord, width int) string {
+	if len(records) == 0 {
+		return "(no contract activity)\n"
+	}
+	if width < 10 {
+		width = 40
+	}
+	maxRatio := 0.0
+	for _, r := range records {
+		if r.Ratio > maxRatio {
+			maxRatio = r.Ratio
+		}
+		if r.Upper > maxRatio {
+			maxRatio = r.Upper
+		}
+	}
+	if maxRatio <= 0 {
+		maxRatio = 1
+	}
+	cell := func(v float64) int {
+		c := int(v / maxRatio * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s  %8s  %-*s  %s\n", "time(s)", "ratio", width, "ratio bar ('|' = tolerance limits)", "state")
+	for _, r := range records {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		for i := 0; i <= cell(r.Ratio); i++ {
+			bar[i] = '#'
+		}
+		bar[cell(r.Lower)] = '|'
+		bar[cell(r.Upper)] = '|'
+		state := "ok"
+		switch {
+		case r.Violation:
+			state = fmt.Sprintf("VIOLATION (severity %.2f)", r.Severity)
+		case r.Ratio > r.Upper:
+			state = "over limit"
+		case r.Ratio < r.Lower:
+			state = "under limit"
+		}
+		fmt.Fprintf(&b, "%10.1f  %8.2f  %s  %s\n", r.Time, r.Ratio, bar, state)
+	}
+	return b.String()
+}

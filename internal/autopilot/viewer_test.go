@@ -1,0 +1,73 @@
+package autopilot
+
+import (
+	"strings"
+	"testing"
+
+	"grads/internal/simcore"
+)
+
+func TestMonitorRecordsTrace(t *testing.T) {
+	sim := simcore.New(1)
+	h := &contractHarness{predicted: 10, actual: 10}
+	m := NewMonitor(sim, h.contract(), 5)
+	m.OnViolation = func(Violation) bool {
+		h.actual = 10
+		return true
+	}
+	m.Start()
+	sim.Schedule(50, func() { h.actual = 30 })
+	sim.RunUntil(200)
+	m.Stop()
+	trace := m.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	sawViolation := false
+	for i, r := range trace {
+		if r.Time <= 0 || r.Ratio <= 0 || r.Upper <= r.Lower {
+			t.Fatalf("record %d malformed: %+v", i, r)
+		}
+		if r.Violation {
+			sawViolation = true
+			if r.Severity <= 0 {
+				t.Fatalf("violation record without severity: %+v", r)
+			}
+		}
+	}
+	if !sawViolation {
+		t.Fatal("violation not in the trace")
+	}
+	// Records are time-ordered.
+	for i := 1; i < len(trace); i++ {
+		if trace[i].Time < trace[i-1].Time {
+			t.Fatal("trace out of order")
+		}
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	records := []TickRecord{
+		{Time: 10, Ratio: 1.0, Lower: 0.5, Upper: 2.0},
+		{Time: 20, Ratio: 3.0, Lower: 0.5, Upper: 2.0, Severity: 0.9, Violation: true},
+		{Time: 30, Ratio: 0.3, Lower: 0.5, Upper: 2.0},
+	}
+	out := FormatTrace(records, 30)
+	if !strings.Contains(out, "VIOLATION") {
+		t.Fatalf("violation row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "under limit") {
+		t.Fatalf("under-limit row missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if FormatTrace(nil, 40) != "(no contract activity)\n" {
+		t.Fatal("empty-trace rendering wrong")
+	}
+	// Tiny width is clamped, not crashing.
+	if out := FormatTrace(records, 1); !strings.Contains(out, "#") {
+		t.Fatal("clamped width lost the bar")
+	}
+}

@@ -1,0 +1,159 @@
+// Package binder implements the distributed GrADS binder of §2: a global
+// binder that locates software through the Grid Information Service and
+// launches a local binder process on every scheduled node; each local binder
+// locates application libraries, instruments the code with Autopilot
+// sensors, and configures and compiles the application's intermediate
+// representation for the target architecture. Because compilation happens
+// on the target machine from a high-level representation, heterogeneous
+// (IA-32 + IA-64) resource sets work naturally.
+package binder
+
+import (
+	"fmt"
+
+	"grads/internal/gis"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// LocalBinderPkg is the GIS software key for the local binder code itself.
+const LocalBinderPkg = "grads-local-binder"
+
+// Package is the compilation package delivered to the binder: the
+// application source in intermediate representation, the libraries it
+// links, and whether it follows the MPI launch protocol.
+type Package struct {
+	Name      string
+	IRBytes   float64  // size of the intermediate representation
+	Libraries []string // required preinstalled libraries (GIS lookups)
+	IsMPI     bool
+}
+
+// NodeResult reports one local binder's work.
+type NodeResult struct {
+	Node     *topology.Node
+	Arch     topology.Arch
+	PrepTime float64 // configure+instrument+compile time on that node
+}
+
+// Result reports a completed bind.
+type Result struct {
+	Nodes []NodeResult
+	// Elapsed is the wall-clock (virtual) duration of the whole bind —
+	// the "Grid overhead" phase of Figure 3.
+	Elapsed float64
+	// MPISyncNeeded tells the application manager it must perform the
+	// global MPI synchronization before launch.
+	MPISyncNeeded bool
+}
+
+// Binder is the global binder.
+type Binder struct {
+	sim *simcore.Sim
+	gis *gis.Service
+
+	// CompileRate is the IR compilation speed in bytes/s on a 1 GHz
+	// reference node; actual speed scales with node clock.
+	CompileRate float64
+	// InstrumentTime is the per-node cost of inserting Autopilot sensors.
+	InstrumentTime float64
+	// ConfigureTime is the per-node cost of the configuration script.
+	ConfigureTime float64
+}
+
+// New creates a binder with 2003-era defaults.
+func New(sim *simcore.Sim, g *gis.Service) *Binder {
+	return &Binder{
+		sim:            sim,
+		gis:            g,
+		CompileRate:    200e3, // ~200 KB of IR per second at 1 GHz
+		InstrumentTime: 1.0,
+		ConfigureTime:  2.0,
+	}
+}
+
+// Bind executes the distributed bind for a package on the scheduled nodes:
+// the global phase resolves the local binder's location on every node, then
+// local binders run in parallel. The calling process blocks until every
+// local binder finishes. The GIS must have LocalBinderPkg and every library
+// registered on every node or the bind fails.
+func (b *Binder) Bind(p *simcore.Proc, pkg Package, nodes []*topology.Node) (*Result, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("binder: no nodes scheduled")
+	}
+	start := p.Now()
+
+	// Global binder: locate the local binder code on every scheduled node.
+	for _, n := range nodes {
+		if _, err := b.gis.LookupSoftware(p, n.Name(), LocalBinderPkg); err != nil {
+			return nil, fmt.Errorf("binder: global phase: %w", err)
+		}
+	}
+
+	// Local binders run concurrently, one per node.
+	res := &Result{MPISyncNeeded: pkg.IsMPI}
+	results := make([]NodeResult, len(nodes))
+	errs := make([]error, len(nodes))
+	done := simcore.NewSignal(b.sim)
+	remaining := len(nodes)
+	for i, n := range nodes {
+		i, n := i, n
+		b.sim.Spawn(fmt.Sprintf("local-binder:%s", n.Name()), func(lp *simcore.Proc) {
+			defer func() {
+				remaining--
+				if remaining == 0 {
+					done.Broadcast()
+				}
+			}()
+			t0 := lp.Now()
+			// Locate application-specific libraries.
+			for _, lib := range pkg.Libraries {
+				if _, err := b.gis.LookupSoftware(lp, n.Name(), lib); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			// Instrument with sensors, configure, compile for this
+			// architecture at this node's speed.
+			compile := pkg.IRBytes / (b.CompileRate * n.Spec.MHz / 1000)
+			if err := lp.Sleep(b.InstrumentTime + b.ConfigureTime + compile); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = NodeResult{Node: n, Arch: n.Spec.Arch, PrepTime: lp.Now() - t0}
+		})
+	}
+	for remaining > 0 {
+		if err := done.Wait(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("binder: local phase: %w", err)
+		}
+	}
+	res.Nodes = results
+	res.Elapsed = p.Now() - start
+	return res, nil
+}
+
+// EstimateOverhead predicts the bind duration on a node set without
+// running it (for rescheduling cost estimates): GIS queries plus the
+// slowest node's prep time.
+func (b *Binder) EstimateOverhead(pkg Package, nodes []*topology.Node) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	queries := float64(len(nodes)) * gis.QueryDelay // global phase, serial
+	slowest := 0.0
+	for _, n := range nodes {
+		t := float64(len(pkg.Libraries))*gis.QueryDelay +
+			b.InstrumentTime + b.ConfigureTime +
+			pkg.IRBytes/(b.CompileRate*n.Spec.MHz/1000)
+		if t > slowest {
+			slowest = t
+		}
+	}
+	return queries + slowest
+}

@@ -1,0 +1,132 @@
+package binder
+
+import (
+	"testing"
+
+	"grads/internal/gis"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+func rig() (*simcore.Sim, *topology.Grid, *gis.Service, *Binder) {
+	sim := simcore.New(1)
+	g := topology.NewGrid(sim)
+	g.AddSite("A", 1e8, 1e-4)
+	g.AddNode(topology.NodeSpec{Name: "ia32", Site: "A", Arch: topology.ArchIA32, MHz: 1000})
+	g.AddNode(topology.NodeSpec{Name: "ia64", Site: "A", Arch: topology.ArchIA64, MHz: 500})
+	gs := gis.New(sim, g)
+	return sim, g, gs, New(sim, gs)
+}
+
+func pkg() Package {
+	return Package{Name: "app", IRBytes: 200e3, Libraries: []string{"blas"}, IsMPI: true}
+}
+
+func TestBindHeterogeneousNodes(t *testing.T) {
+	sim, g, gs, b := rig()
+	gs.RegisterSoftwareEverywhere(LocalBinderPkg, "/opt/binder")
+	gs.RegisterSoftwareEverywhere("blas", "/opt/blas")
+	var res *Result
+	sim.Spawn("mgr", func(p *simcore.Proc) {
+		r, err := b.Bind(p, pkg(), g.Nodes())
+		if err != nil {
+			t.Errorf("Bind: %v", err)
+			return
+		}
+		res = r
+	})
+	sim.Run()
+	if res == nil {
+		t.Fatal("bind did not complete")
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("bound %d nodes", len(res.Nodes))
+	}
+	if !res.MPISyncNeeded {
+		t.Fatal("MPI package must require synchronization")
+	}
+	// Each node compiled for its own architecture; the slower node takes
+	// longer to compile (compilation runs on the target).
+	archs := map[topology.Arch]float64{}
+	for _, nr := range res.Nodes {
+		archs[nr.Arch] = nr.PrepTime
+	}
+	if len(archs) != 2 {
+		t.Fatalf("architectures bound: %v", archs)
+	}
+	if archs[topology.ArchIA64] <= archs[topology.ArchIA32] {
+		t.Fatalf("500 MHz node should compile slower: %v", archs)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time recorded")
+	}
+	// Local binders run in parallel: elapsed ~ slowest prep + global
+	// queries, far less than the sum.
+	sum := archs[topology.ArchIA32] + archs[topology.ArchIA64]
+	if res.Elapsed >= sum {
+		t.Fatalf("bind not parallel: elapsed %v >= sum %v", res.Elapsed, sum)
+	}
+}
+
+func TestBindFailsOnMissingSoftware(t *testing.T) {
+	sim, g, gs, b := rig()
+	gs.RegisterSoftwareEverywhere(LocalBinderPkg, "/opt/binder")
+	// blas missing everywhere.
+	var bindErr error
+	sim.Spawn("mgr", func(p *simcore.Proc) {
+		_, bindErr = b.Bind(p, pkg(), g.Nodes())
+	})
+	sim.Run()
+	if bindErr == nil {
+		t.Fatal("bind succeeded without required libraries")
+	}
+	// Missing local binder itself fails in the global phase.
+	sim2, g2, _, b2 := rig()
+	var err2 error
+	sim2.Spawn("mgr", func(p *simcore.Proc) {
+		_, err2 = b2.Bind(p, pkg(), g2.Nodes())
+	})
+	sim2.Run()
+	if err2 == nil {
+		t.Fatal("bind succeeded without the local binder installed")
+	}
+}
+
+func TestBindEmptyNodes(t *testing.T) {
+	sim, _, _, b := rig()
+	var err error
+	sim.Spawn("mgr", func(p *simcore.Proc) {
+		_, err = b.Bind(p, pkg(), nil)
+	})
+	sim.Run()
+	if err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+}
+
+func TestEstimateOverheadTracksActual(t *testing.T) {
+	sim, g, gs, b := rig()
+	gs.RegisterSoftwareEverywhere(LocalBinderPkg, "/opt/binder")
+	gs.RegisterSoftwareEverywhere("blas", "/opt/blas")
+	est := b.EstimateOverhead(pkg(), g.Nodes())
+	var actual float64
+	sim.Spawn("mgr", func(p *simcore.Proc) {
+		r, err := b.Bind(p, pkg(), g.Nodes())
+		if err != nil {
+			t.Errorf("Bind: %v", err)
+			return
+		}
+		actual = r.Elapsed
+	})
+	sim.Run()
+	if est <= 0 {
+		t.Fatal("estimate is zero")
+	}
+	ratio := actual / est
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("estimate %v vs actual %v (ratio %v)", est, actual, ratio)
+	}
+	if b.EstimateOverhead(pkg(), nil) != 0 {
+		t.Fatal("estimate for no nodes should be 0")
+	}
+}

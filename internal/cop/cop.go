@@ -1,0 +1,150 @@
+// Package cop defines the Configurable Object Program abstraction of
+// Figure 1: an application encapsulated with its mapper (which decides how
+// to map the application onto a set of resources) and its executable
+// performance model (which estimates performance on a set of resources).
+// The application manager, scheduler and rescheduler all drive applications
+// exclusively through these interfaces.
+package cop
+
+import (
+	"sort"
+
+	"grads/internal/binder"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// Mapper determines how to map an application's tasks to a set of
+// resources: given the available pool it selects and orders the nodes the
+// application should run on.
+type Mapper interface {
+	Map(pool []*topology.Node, avail func(*topology.Node) float64) []*topology.Node
+}
+
+// PerformanceModel estimates the application's execution behavior on a
+// resource set. It doubles as the rescheduler's Estimator.
+type PerformanceModel interface {
+	// RemainingTime predicts the remaining execution time on nodes given
+	// per-node availability forecasts.
+	RemainingTime(nodes []*topology.Node, avail func(*topology.Node) float64) float64
+	// CheckpointBytes is the migration data footprint.
+	CheckpointBytes() float64
+	// RestartOverhead is the fixed restart cost on new resources.
+	RestartOverhead() float64
+}
+
+// RunReport summarizes one execution segment of an application.
+type RunReport struct {
+	// Stopped is true when the segment ended in an SRS checkpoint-and-stop
+	// rather than completion.
+	Stopped bool
+	// Duration is the application execution time of the segment, excluding
+	// checkpoint I/O.
+	Duration float64
+	// CkptWrite and CkptRead are checkpoint I/O times within the segment.
+	CkptWrite float64
+	CkptRead  float64
+}
+
+// Recoverable is implemented by COPs that can roll back to their last
+// committed checkpoint after a node failure (the fault-tolerance capability
+// the paper's conclusion previews for VGrADS).
+type Recoverable interface {
+	// Rollback resets in-memory progress to the last committed checkpoint
+	// and reports whether checkpoint data exists to restore from.
+	Rollback() bool
+}
+
+// COP is a configurable object program: application code plus mapper plus
+// performance model (Figure 1).
+type COP interface {
+	Name() string
+	// Pkg is the compilation package the binder tailors per node.
+	Pkg() binder.Package
+	Mapper() Mapper
+	Model() PerformanceModel
+	// Run executes the application (one segment) on the bound nodes from
+	// the calling simulated process. restart marks a post-migration
+	// segment, which begins by reading checkpoints.
+	Run(p *simcore.Proc, nodes []*topology.Node, restart bool) (RunReport, error)
+}
+
+// GreedyMapper selects the width fastest nodes by forecast effective speed,
+// breaking ties by name; with SameSite it restricts the choice to the
+// single best site (tightly coupled MPI applications).
+type GreedyMapper struct {
+	Width    int
+	SameSite bool
+}
+
+// Map implements Mapper.
+func (m GreedyMapper) Map(pool []*topology.Node, avail func(*topology.Node) float64) []*topology.Node {
+	if len(pool) == 0 || m.Width <= 0 {
+		return nil
+	}
+	speed := func(n *topology.Node) float64 {
+		a := 1.0
+		if avail != nil {
+			a = avail(n)
+		}
+		return n.Spec.Flops() * a
+	}
+	// Failed nodes are never schedulable.
+	var alive []*topology.Node
+	for _, n := range pool {
+		if !n.Down() {
+			alive = append(alive, n)
+		}
+	}
+	pool = alive
+	if !m.SameSite {
+		return topFastest(pool, m.Width, speed)
+	}
+	// Per site: aggregate lock-step rate of its best min(width, |site|)
+	// nodes = count * slowest-selected speed.
+	bySite := map[string][]*topology.Node{}
+	for _, n := range pool {
+		bySite[n.Site().Name] = append(bySite[n.Site().Name], n)
+	}
+	var bestSet []*topology.Node
+	bestRate := -1.0
+	// Deterministic site order.
+	names := make([]string, 0, len(bySite))
+	for s := range bySite {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		sel := topFastest(bySite[s], m.Width, speed)
+		if len(sel) == 0 {
+			continue
+		}
+		slowest := speed(sel[len(sel)-1])
+		rate := float64(len(sel)) * slowest
+		if rate > bestRate {
+			bestRate, bestSet = rate, sel
+		}
+	}
+	return bestSet
+}
+
+// topFastest returns up to k nodes sorted by descending speed (name-stable).
+func topFastest(pool []*topology.Node, k int, speed func(*topology.Node) float64) []*topology.Node {
+	sel := append([]*topology.Node(nil), pool...)
+	sortNodes(sel, speed)
+	if len(sel) > k {
+		sel = sel[:k]
+	}
+	return sel
+}
+
+// sortNodes orders nodes by descending speed, ties broken by name.
+func sortNodes(ns []*topology.Node, speed func(*topology.Node) float64) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		si, sj := speed(ns[i]), speed(ns[j])
+		if si != sj {
+			return si > sj
+		}
+		return ns[i].Name() < ns[j].Name()
+	})
+}

@@ -1,0 +1,72 @@
+package cop
+
+import (
+	"testing"
+
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+func grid() *topology.Grid {
+	sim := simcore.New(1)
+	g := topology.NewGrid(sim)
+	g.AddSite("F", 1e8, 1e-4)
+	g.AddSite("S", 1e8, 1e-4)
+	g.Connect("F", "S", 1e6, 0.01)
+	g.AddNode(topology.NodeSpec{Name: "f1", Site: "F", MHz: 1000, FlopsPerCycle: 1})
+	g.AddNode(topology.NodeSpec{Name: "f2", Site: "F", MHz: 1000, FlopsPerCycle: 1})
+	g.AddNode(topology.NodeSpec{Name: "s1", Site: "S", MHz: 400, FlopsPerCycle: 1})
+	g.AddNode(topology.NodeSpec{Name: "s2", Site: "S", MHz: 400, FlopsPerCycle: 1})
+	g.AddNode(topology.NodeSpec{Name: "s3", Site: "S", MHz: 400, FlopsPerCycle: 1})
+	return g
+}
+
+func TestGreedyMapperTopFastest(t *testing.T) {
+	g := grid()
+	m := GreedyMapper{Width: 2}
+	sel := m.Map(g.Nodes(), nil)
+	if len(sel) != 2 || sel[0].Name() != "f1" || sel[1].Name() != "f2" {
+		t.Fatalf("selected %v", names(sel))
+	}
+	if got := (GreedyMapper{Width: 0}).Map(g.Nodes(), nil); got != nil {
+		t.Fatal("width 0 should select nothing")
+	}
+	if got := m.Map(nil, nil); got != nil {
+		t.Fatal("empty pool should select nothing")
+	}
+}
+
+func TestGreedyMapperSameSiteAggregateRate(t *testing.T) {
+	g := grid()
+	// Width 3: F offers 2x1e9 = 2e9; S offers 3x4e8 = 1.2e9 -> F wins.
+	m := GreedyMapper{Width: 3, SameSite: true}
+	sel := m.Map(g.Nodes(), nil)
+	if len(sel) != 2 || sel[0].Site().Name != "F" {
+		t.Fatalf("width 3 chose %v", names(sel))
+	}
+	// Width 5 still compares per-site: F 2e9 vs S 1.2e9 -> F.
+	m.Width = 5
+	sel = m.Map(g.Nodes(), nil)
+	if sel[0].Site().Name != "F" {
+		t.Fatalf("width 5 chose %v", names(sel))
+	}
+	// Load F: availability 0.2 -> F rate 2*2e8=4e8 < S 1.2e9 -> S wins.
+	avail := func(n *topology.Node) float64 {
+		if n.Site().Name == "F" {
+			return 0.2
+		}
+		return 1
+	}
+	sel = m.Map(g.Nodes(), avail)
+	if len(sel) != 3 || sel[0].Site().Name != "S" {
+		t.Fatalf("loaded-F selection %v", names(sel))
+	}
+}
+
+func names(ns []*topology.Node) []string {
+	var out []string
+	for _, n := range ns {
+		out = append(out, n.Name())
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatGantt renders a schedule as a text Gantt chart: one row per node
+// that received work, time flowing left to right across width cells. Each
+// component is drawn with a letter (a, b, c, ... by component index), and
+// idle time with '.'.
+func FormatGantt(w *Workflow, s *Schedule, width int) string {
+	if width < 20 {
+		width = 60
+	}
+	if s.Makespan <= 0 {
+		return "(empty schedule)\n"
+	}
+	// Group assignments per node.
+	type span struct {
+		comp          int
+		start, finish float64
+	}
+	byNode := map[string][]span{}
+	for ci, a := range s.Assignments {
+		if a.Node == nil {
+			continue
+		}
+		byNode[a.Node.Name()] = append(byNode[a.Node.Name()], span{ci, a.Start, a.Finish})
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	glyph := func(ci int) byte {
+		const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+		return letters[ci%len(letters)]
+	}
+	cell := func(t float64) int {
+		c := int(t / s.Makespan * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	nameW := 0
+	for _, n := range nodes {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  0%s%.1fs\n", nameW, "node",
+		strings.Repeat(" ", width-len(fmt.Sprintf("%.1fs", s.Makespan))-1), s.Makespan)
+	for _, n := range nodes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, sp := range byNode[n] {
+			g := glyph(sp.comp)
+			for i := cell(sp.start); i <= cell(sp.finish); i++ {
+				row[i] = g
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %s\n", nameW, n, row)
+	}
+	// Legend.
+	fmt.Fprintf(&b, "%-*s  ", nameW, "")
+	for ci, c := range w.Components {
+		if s.Assignments[ci].Node == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%c=%s ", glyph(ci), c.Name)
+		if (ci+1)%6 == 0 {
+			fmt.Fprintf(&b, "\n%-*s  ", nameW, "")
+		}
+	}
+	b.WriteString("\n")
+	return b.String()
+}

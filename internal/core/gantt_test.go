@@ -1,0 +1,40 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatGantt(t *testing.T) {
+	g := twoSiteGrid(t)
+	s := NewScheduler(g, nil)
+	w := NewWorkflow()
+	a := w.Add(&Component{Name: "prep", Model: flatModel(t, "p", 1e9), ProblemSize: 1})
+	w.Add(&Component{Name: "main", Model: flatModel(t, "m", 2e9), ProblemSize: 1}, a)
+	w.Add(&Component{Name: "side", Model: flatModel(t, "s", 1e9), ProblemSize: 1}, a)
+	sched, err := s.Schedule(w, g.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatGantt(w, sched, 50)
+	if !strings.Contains(out, "a=prep") || !strings.Contains(out, "b=main") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Every node used appears as a row.
+	used := map[string]bool{}
+	for _, asg := range sched.Assignments {
+		used[asg.Node.Name()] = true
+	}
+	for n := range used {
+		if !strings.Contains(out, n) {
+			t.Fatalf("node %s missing from chart:\n%s", n, out)
+		}
+	}
+	// Bars present.
+	if !strings.Contains(out, "aa") {
+		t.Fatalf("no bar for component a:\n%s", out)
+	}
+	if FormatGantt(w, &Schedule{}, 40) != "(empty schedule)\n" {
+		t.Fatal("empty schedule rendering wrong")
+	}
+}

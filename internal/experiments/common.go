@@ -1,0 +1,132 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation on the emulated Grid: the Figure 3 QR
+// stop/restart bars with their phase breakdown, the §4.1.2 rescheduler
+// decision table, the Figure 4 N-body process-swapping progress trace, the
+// §3.3 EMAN workflow-scheduling demonstration, and the ablation studies
+// (heuristic comparison, swap policies, opportunistic rescheduling).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"grads/internal/binder"
+	"grads/internal/gis"
+	"grads/internal/ibp"
+	"grads/internal/nws"
+	"grads/internal/simcore"
+	"grads/internal/srs"
+	"grads/internal/topology"
+)
+
+// Env bundles one fully wired GrADS execution environment on a fresh
+// deterministic simulation.
+type Env struct {
+	Sim     *simcore.Sim
+	Grid    *topology.Grid
+	GIS     *gis.Service
+	Storage *ibp.System
+	Binder  *binder.Binder
+	Weather *nws.Service
+	RSS     *srs.RSS
+}
+
+// GridBuilder constructs a testbed on a simulation.
+type GridBuilder func(*simcore.Sim) *topology.Grid
+
+// NewEnv wires GIS (with the standard software registered everywhere), IBP
+// depots, the binder, the weather service, and an RSS for appName over the
+// given testbed. Seed fixes all randomness.
+func NewEnv(seed int64, build GridBuilder, appName string, nwsPeriod float64) *Env {
+	sim := simcore.New(seed)
+	grid := build(sim)
+	g := gis.New(sim, grid)
+	g.RegisterSoftwareEverywhere(binder.LocalBinderPkg, "/opt/grads/binder")
+	for _, lib := range []string{"scalapack", "blas", "srs", "autopilot", "eman", "mpi"} {
+		g.RegisterSoftwareEverywhere(lib, "/opt/"+lib)
+	}
+	st := ibp.New(sim, grid)
+	st.AddDepotsEverywhere()
+	env := &Env{
+		Sim:     sim,
+		Grid:    grid,
+		GIS:     g,
+		Storage: st,
+		Binder:  binder.New(sim, g),
+		RSS:     srs.NewRSS(sim, st, appName),
+	}
+	if nwsPeriod > 0 {
+		env.Weather = nws.Start(sim, grid, nwsPeriod)
+	}
+	return env
+}
+
+// Table renders an aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (for plotting the
+// figures with external tools).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Secs formats seconds compactly.
+func Secs(v float64) string { return fmt.Sprintf("%.1f", v) }

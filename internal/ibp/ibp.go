@@ -1,0 +1,170 @@
+// Package ibp models the Internet Backplane Protocol storage the SRS
+// checkpointing library uses: storage depots located on grid nodes, with
+// writes and reads paying local disk cost plus any network transfer between
+// the requesting node and the depot.
+//
+// The asymmetry the paper reports in Figure 3 — checkpoint *writes* are
+// insignificant because they go to IBP depots on local disks, while
+// checkpoint *reads* dominate migration cost because they cross the
+// Internet — falls out of this model directly.
+package ibp
+
+import (
+	"fmt"
+
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// DefaultDiskRate is the local disk throughput of a depot in bytes/s
+// (2003-era IDE disk).
+const DefaultDiskRate = 40e6
+
+// Depot is a storage allocation server on one node.
+type Depot struct {
+	node     *topology.Node
+	diskRate float64
+	blobs    map[string]float64 // key -> size in bytes
+}
+
+// Node returns the node hosting the depot.
+func (d *Depot) Node() *topology.Node { return d.node }
+
+// Stored returns the total bytes resident in the depot.
+func (d *Depot) Stored() float64 {
+	sum := 0.0
+	for _, b := range d.blobs {
+		sum += b
+	}
+	return sum
+}
+
+// System is the set of IBP depots on an emulated Grid.
+type System struct {
+	sim    *simcore.Sim
+	grid   *topology.Grid
+	depots map[string]*Depot // node name -> depot
+}
+
+// New creates an IBP system with no depots.
+func New(sim *simcore.Sim, grid *topology.Grid) *System {
+	return &System{sim: sim, grid: grid, depots: make(map[string]*Depot)}
+}
+
+// AddDepot creates a depot on a node with the given disk rate (bytes/s);
+// a non-positive rate selects DefaultDiskRate.
+func (s *System) AddDepot(node *topology.Node, diskRate float64) *Depot {
+	if diskRate <= 0 {
+		diskRate = DefaultDiskRate
+	}
+	d := &Depot{node: node, diskRate: diskRate, blobs: make(map[string]float64)}
+	s.depots[node.Name()] = d
+	return d
+}
+
+// AddDepotsEverywhere creates a default depot on every grid node that lacks
+// one, mirroring "IBP storage on local disks".
+func (s *System) AddDepotsEverywhere() {
+	for _, n := range s.grid.Nodes() {
+		if s.depots[n.Name()] == nil {
+			s.AddDepot(n, 0)
+		}
+	}
+}
+
+// Depot returns the depot on the named node, or nil.
+func (s *System) Depot(node string) *Depot { return s.depots[node] }
+
+// Store writes bytes under key into the depot on depotNode, called from a
+// process running on fromNode. The caller pays network transfer (if the
+// depot is remote) plus disk write time. Storing an existing key replaces it.
+func (s *System) Store(p *simcore.Proc, from, depotNode *topology.Node, key string, bytes float64) error {
+	d := s.depots[depotNode.Name()]
+	if d == nil {
+		return fmt.Errorf("ibp: no depot on %q", depotNode.Name())
+	}
+	if bytes < 0 {
+		return fmt.Errorf("ibp: negative size for %q", key)
+	}
+	if from != depotNode {
+		if _, err := s.grid.Net.Transfer(p, s.grid.Route(from, depotNode), bytes); err != nil {
+			return err
+		}
+	}
+	if err := p.Sleep(bytes / d.diskRate); err != nil {
+		return err
+	}
+	d.blobs[key] = bytes
+	return nil
+}
+
+// Retrieve reads the blob under key from the depot on depotNode into a
+// process running on toNode, paying disk read plus network transfer.
+// It returns the blob size.
+func (s *System) Retrieve(p *simcore.Proc, depotNode, to *topology.Node, key string) (float64, error) {
+	d := s.depots[depotNode.Name()]
+	if d == nil {
+		return 0, fmt.Errorf("ibp: no depot on %q", depotNode.Name())
+	}
+	bytes, ok := d.blobs[key]
+	if !ok {
+		return 0, fmt.Errorf("ibp: key %q not in depot on %q", key, depotNode.Name())
+	}
+	if err := p.Sleep(bytes / d.diskRate); err != nil {
+		return 0, err
+	}
+	if depotNode != to {
+		if _, err := s.grid.Net.Transfer(p, s.grid.Route(depotNode, to), bytes); err != nil {
+			return 0, err
+		}
+	}
+	return bytes, nil
+}
+
+// RetrievePartial reads bytes of the blob under key (a byte range, for
+// block-cyclic redistribution where each reader takes a slice) from the
+// depot on depotNode into a process on toNode. It pays disk and network
+// proportional to the slice.
+func (s *System) RetrievePartial(p *simcore.Proc, depotNode, to *topology.Node, key string, bytes float64) (float64, error) {
+	d := s.depots[depotNode.Name()]
+	if d == nil {
+		return 0, fmt.Errorf("ibp: no depot on %q", depotNode.Name())
+	}
+	stored, ok := d.blobs[key]
+	if !ok {
+		return 0, fmt.Errorf("ibp: key %q not in depot on %q", key, depotNode.Name())
+	}
+	if bytes > stored {
+		bytes = stored
+	}
+	if bytes <= 0 {
+		return 0, nil
+	}
+	if err := p.Sleep(bytes / d.diskRate); err != nil {
+		return 0, err
+	}
+	if depotNode != to {
+		if _, err := s.grid.Net.Transfer(p, s.grid.Route(depotNode, to), bytes); err != nil {
+			return 0, err
+		}
+	}
+	return bytes, nil
+}
+
+// Size returns the stored size of key on a depot without any cost, or
+// ok=false if absent (metadata lookups are negligible next to data motion).
+func (s *System) Size(depotNode, key string) (float64, bool) {
+	d := s.depots[depotNode]
+	if d == nil {
+		return 0, false
+	}
+	b, ok := d.blobs[key]
+	return b, ok
+}
+
+// Delete removes key from the depot on depotNode, if present.
+func (s *System) Delete(depotNode, key string) {
+	if d := s.depots[depotNode]; d != nil {
+		delete(d.blobs, key)
+	}
+}

@@ -1,0 +1,125 @@
+package linalg
+
+import "fmt"
+
+// BlockCyclic describes a 1-D column block-cyclic distribution of an n-column
+// matrix over p processes with block size nb, as ScaLAPACK uses. Column j
+// lives in global block j/nb, owned by process (j/nb) mod p.
+type BlockCyclic struct {
+	N  int // global columns
+	NB int // block size
+	P  int // processes
+}
+
+// Owner returns the process owning global column j.
+func (d BlockCyclic) Owner(j int) int { return (j / d.NB) % d.P }
+
+// LocalCols returns how many global columns process p owns.
+func (d BlockCyclic) LocalCols(p int) int {
+	count := 0
+	for b := 0; b*d.NB < d.N; b++ {
+		if b%d.P != p {
+			continue
+		}
+		lo := b * d.NB
+		hi := lo + d.NB
+		if hi > d.N {
+			hi = d.N
+		}
+		count += hi - lo
+	}
+	return count
+}
+
+// GlobalCols returns, in ascending order, the global column indices owned by
+// process p.
+func (d BlockCyclic) GlobalCols(p int) []int {
+	var cols []int
+	for b := 0; b*d.NB < d.N; b++ {
+		if b%d.P != p {
+			continue
+		}
+		for j := b * d.NB; j < (b+1)*d.NB && j < d.N; j++ {
+			cols = append(cols, j)
+		}
+	}
+	return cols
+}
+
+// Distribute splits a into per-process local column panels under the
+// distribution (m rows each, LocalCols(p) columns, in owned-column order).
+func Distribute(a *Matrix, nb, p int) []*Matrix {
+	if nb <= 0 || p <= 0 {
+		panic("linalg: bad distribution parameters")
+	}
+	d := BlockCyclic{N: a.Cols, NB: nb, P: p}
+	locals := make([]*Matrix, p)
+	for proc := 0; proc < p; proc++ {
+		cols := d.GlobalCols(proc)
+		local := NewMatrix(a.Rows, len(cols))
+		for lj, gj := range cols {
+			for i := 0; i < a.Rows; i++ {
+				local.Set(i, lj, a.At(i, gj))
+			}
+		}
+		locals[proc] = local
+	}
+	return locals
+}
+
+// Collect reassembles the global matrix from local panels distributed with
+// block size nb.
+func Collect(locals []*Matrix, nb int) *Matrix {
+	if len(locals) == 0 {
+		panic("linalg: no local panels")
+	}
+	p := len(locals)
+	rows := locals[0].Rows
+	n := 0
+	for _, l := range locals {
+		if l.Rows != rows {
+			panic("linalg: ragged local panels")
+		}
+		n += l.Cols
+	}
+	d := BlockCyclic{N: n, NB: nb, P: p}
+	out := NewMatrix(rows, n)
+	for proc := 0; proc < p; proc++ {
+		cols := d.GlobalCols(proc)
+		if len(cols) != locals[proc].Cols {
+			panic(fmt.Sprintf("linalg: panel %d has %d cols, distribution says %d",
+				proc, locals[proc].Cols, len(cols)))
+		}
+		for lj, gj := range cols {
+			for i := 0; i < rows; i++ {
+				out.Set(i, gj, locals[proc].At(i, lj))
+			}
+		}
+	}
+	return out
+}
+
+// Redistribute converts local panels from a p-process block-cyclic layout to
+// a q-process one with the same block size — the N-to-M data redistribution
+// SRS performs transparently when an application restarts on a different
+// processor count.
+func Redistribute(locals []*Matrix, nb, q int) []*Matrix {
+	global := Collect(locals, nb)
+	return Distribute(global, nb, q)
+}
+
+// RedistributeVolume returns the number of matrix elements that must move
+// between processes when an n-column, m-row matrix goes from p to q
+// processes with block size nb (elements whose owner changes). This drives
+// the simulated cost of checkpoint redistribution.
+func RedistributeVolume(mRows, n, nb, p, q int) int {
+	from := BlockCyclic{N: n, NB: nb, P: p}
+	to := BlockCyclic{N: n, NB: nb, P: q}
+	moved := 0
+	for j := 0; j < n; j++ {
+		if from.Owner(j) != to.Owner(j) {
+			moved += mRows
+		}
+	}
+	return moved
+}

@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("Set/At broken")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) != 0 {
+		t.Fatal("Clone aliases data")
+	}
+	id := Identity(3)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Fatal("Identity wrong")
+	}
+}
+
+func TestMulAndTranspose(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+	for i, v := range []float64{1, 2, 3, 4, 5, 6} {
+		a.Data[i] = v
+	}
+	for i, v := range []float64{7, 8, 9, 10, 11, 12} {
+		b.Data[i] = v
+	}
+	p := a.Mul(b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if p.Data[i] != v {
+			t.Fatalf("Mul = %v, want %v", p.Data, want)
+		}
+	}
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose wrong: %+v", at)
+	}
+}
+
+func TestQRReconstructsAndOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := Random(rng, n, n)
+		q, r := QR(a)
+		// Q*R == A
+		if diff := q.Mul(r).MaxAbsDiff(a); diff > 1e-9 {
+			t.Fatalf("n=%d: QR reconstruction error %v", n, diff)
+		}
+		// QᵀQ == I
+		if diff := q.Transpose().Mul(q).MaxAbsDiff(Identity(n)); diff > 1e-9 {
+			t.Fatalf("n=%d: Q not orthogonal: %v", n, diff)
+		}
+		// R upper triangular
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("n=%d: R(%d,%d) = %v below diagonal", n, i, j, r.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRTallMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := Random(rng, 30, 10)
+	q, r := QR(a)
+	if diff := q.Mul(r).MaxAbsDiff(a); diff > 1e-9 {
+		t.Fatalf("tall QR reconstruction error %v", diff)
+	}
+	if diff := q.Transpose().Mul(q).MaxAbsDiff(Identity(30)); diff > 1e-9 {
+		t.Fatalf("tall Q not orthogonal: %v", diff)
+	}
+}
+
+func TestQRFlopsCurve(t *testing.T) {
+	if QRFlops(1000) != 4.0/3.0*1e9 {
+		t.Fatalf("QRFlops(1000) = %v", QRFlops(1000))
+	}
+}
+
+func TestBlockCyclicOwnership(t *testing.T) {
+	d := BlockCyclic{N: 10, NB: 2, P: 3}
+	// Blocks: [0 1][2 3][4 5][6 7][8 9] owned by procs 0,1,2,0,1.
+	wantOwner := []int{0, 0, 1, 1, 2, 2, 0, 0, 1, 1}
+	for j, w := range wantOwner {
+		if d.Owner(j) != w {
+			t.Fatalf("Owner(%d) = %d, want %d", j, d.Owner(j), w)
+		}
+	}
+	if d.LocalCols(0) != 4 || d.LocalCols(1) != 4 || d.LocalCols(2) != 2 {
+		t.Fatalf("LocalCols = %d %d %d", d.LocalCols(0), d.LocalCols(1), d.LocalCols(2))
+	}
+	if cols := d.GlobalCols(2); len(cols) != 2 || cols[0] != 4 || cols[1] != 5 {
+		t.Fatalf("GlobalCols(2) = %v", cols)
+	}
+}
+
+func TestDistributeCollectRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := Random(rng, 7, 13)
+	locals := Distribute(a, 3, 4)
+	back := Collect(locals, 3)
+	if diff := back.MaxAbsDiff(a); diff != 0 {
+		t.Fatalf("round trip error %v", diff)
+	}
+}
+
+func TestRedistributePreservesMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := Random(rng, 9, 16)
+	locals4 := Distribute(a, 2, 4)
+	locals12 := Redistribute(locals4, 2, 12) // N=4 -> M=12 processors
+	back := Collect(locals12, 2)
+	if diff := back.MaxAbsDiff(a); diff != 0 {
+		t.Fatalf("4->12 redistribution error %v", diff)
+	}
+	locals3 := Redistribute(locals12, 2, 3) // shrink again
+	if diff := Collect(locals3, 2).MaxAbsDiff(a); diff != 0 {
+		t.Fatalf("12->3 redistribution error %v", diff)
+	}
+}
+
+func TestRedistributeVolume(t *testing.T) {
+	// Same p -> q: nothing moves.
+	if v := RedistributeVolume(100, 40, 4, 4, 4); v != 0 {
+		t.Fatalf("same-layout volume = %d, want 0", v)
+	}
+	// p=1 -> q=2 with nb=1: every odd block changes owner.
+	v := RedistributeVolume(10, 8, 1, 1, 2)
+	if v != 40 { // columns 1,3,5,7 move, 10 rows each
+		t.Fatalf("volume = %d, want 40", v)
+	}
+	// Volume never exceeds the whole matrix.
+	if v := RedistributeVolume(10, 8, 1, 3, 5); v > 80 {
+		t.Fatalf("volume %d exceeds matrix size", v)
+	}
+}
+
+// Property: distribute/collect is lossless for arbitrary shapes, block sizes
+// and process counts.
+func TestQuickDistributeRoundTrip(t *testing.T) {
+	f := func(rows, cols, nb, p uint8) bool {
+		r := int(rows%12) + 1
+		c := int(cols%20) + 1
+		b := int(nb%5) + 1
+		np := int(p%6) + 1
+		rng := rand.New(rand.NewSource(int64(r*c + b + np)))
+		a := Random(rng, r, c)
+		return Collect(Distribute(a, b, np), b).MaxAbsDiff(a) == 0
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: QR of random matrices reconstructs within tolerance and Q stays
+// orthogonal (backward stability at small sizes).
+func TestQuickQRInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%15) + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := Random(rng, n, n)
+		q, r := QR(a)
+		scale := 1.0
+		if q.Mul(r).MaxAbsDiff(a) > 1e-9*scale {
+			return false
+		}
+		return q.Transpose().Mul(q).MaxAbsDiff(Identity(n)) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(52))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched shapes should panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}

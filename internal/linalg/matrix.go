@@ -1,0 +1,172 @@
+// Package linalg provides the real dense linear algebra used to validate
+// the simulated ScaLAPACK QR application: matrices, Householder QR
+// factorization, and the 1-D block-cyclic distribution (with N-to-M
+// redistribution) that the SRS checkpointing library must preserve across
+// migrations.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Random fills a new matrix with uniform values in [-1, 1).
+func Random(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()*2 - 1
+	}
+	return m
+}
+
+// Identity returns the n-by-n identity.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the max absolute elementwise difference between two
+// same-shaped matrices.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		panic("linalg: shape mismatch")
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// QR computes the full Householder QR factorization A = Q R with Q
+// orthogonal (m-by-m) and R upper triangular (m-by-n). A is not modified.
+// It is meant for validation at modest sizes, not performance.
+func QR(a *Matrix) (q, r *Matrix) {
+	m, n := a.Rows, a.Cols
+	r = a.Clone()
+	q = Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n && k < m-1; k++ {
+		// Householder vector for column k below the diagonal.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm += r.At(i, k) * r.At(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		vnorm := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm += v[i] * v[i]
+		}
+		if vnorm == 0 {
+			continue
+		}
+		// Apply H = I - 2 v vᵀ / (vᵀv) to R (columns k..n-1).
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			f := 2 * dot / vnorm
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-f*v[i])
+			}
+		}
+		// Accumulate Q = Q * H.
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := k; j < m; j++ {
+				dot += q.At(i, j) * v[j]
+			}
+			f := 2 * dot / vnorm
+			for j := k; j < m; j++ {
+				q.Set(i, j, q.At(i, j)-f*v[j])
+			}
+		}
+	}
+	// Clean numerical dust below the diagonal.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n && j < i; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return q, r
+}
+
+// QRFlops returns the approximate operation count of Householder QR on an
+// n-by-n matrix: (4/3)n³. This is the curve the performance model fits.
+func QRFlops(n float64) float64 { return 4.0 / 3.0 * n * n * n }

@@ -1,0 +1,95 @@
+// Package load provides time-varying background-load profiles for the Grid
+// emulation: step loads (the paper's "artificial load introduced five
+// minutes after start" and "two competitive processes at t=80s"), constant
+// loads, spikes, random walks, and trace playback onto arbitrary setters.
+package load
+
+import (
+	"math/rand"
+	"sort"
+
+	"grads/internal/simcore"
+)
+
+// Point is one step of a load profile: at virtual time At the controlled
+// quantity becomes Value and holds until the next point.
+type Point struct {
+	At    float64
+	Value float64
+}
+
+// Profile is a piecewise-constant time series, ordered by time.
+type Profile []Point
+
+// Constant returns a profile that is v forever.
+func Constant(v float64) Profile { return Profile{{At: 0, Value: v}} }
+
+// Step returns a profile that is before until t0 and after from then on.
+func Step(t0, before, after float64) Profile {
+	return Profile{{At: 0, Value: before}, {At: t0, Value: after}}
+}
+
+// Spike returns a profile that is base except on [t0, t1), where it is peak.
+func Spike(t0, t1, base, peak float64) Profile {
+	return Profile{{At: 0, Value: base}, {At: t0, Value: peak}, {At: t1, Value: base}}
+}
+
+// RandomWalk returns a profile sampled every dt on [0, until): each step the
+// value moves by a uniform increment in [-sigma, sigma] and is clamped to
+// [min, max]. The walk is deterministic given rng's state.
+func RandomWalk(rng *rand.Rand, until, dt, start, sigma, min, max float64) Profile {
+	if dt <= 0 || until <= 0 {
+		return Constant(start)
+	}
+	var p Profile
+	v := start
+	for t := 0.0; t < until; t += dt {
+		p = append(p, Point{At: t, Value: v})
+		v += (rng.Float64()*2 - 1) * sigma
+		if v < min {
+			v = min
+		}
+		if v > max {
+			v = max
+		}
+	}
+	return p
+}
+
+// Normalize sorts the profile by time and drops points with negative times.
+func (p Profile) Normalize() Profile {
+	q := make(Profile, 0, len(p))
+	for _, pt := range p {
+		if pt.At >= 0 {
+			q = append(q, pt)
+		}
+	}
+	sort.SliceStable(q, func(i, j int) bool { return q[i].At < q[j].At })
+	return q
+}
+
+// At returns the profile's value at time t (the last point at or before t),
+// or 0 if t precedes the first point.
+func (p Profile) At(t float64) float64 {
+	v := 0.0
+	for _, pt := range p {
+		if pt.At > t {
+			break
+		}
+		v = pt.Value
+	}
+	return v
+}
+
+// Play schedules the profile onto set: at each point's time, set is called
+// with the point's value. Points in the past (relative to sim.Now) fire
+// immediately. Play returns the scheduled events so a caller can cancel the
+// remainder of a trace.
+func Play(sim *simcore.Sim, p Profile, set func(float64)) []*simcore.Event {
+	evs := make([]*simcore.Event, 0, len(p))
+	for _, pt := range p.Normalize() {
+		v := pt.Value
+		evs = append(evs, sim.At(pt.At, func() { set(v) }))
+	}
+	return evs
+}

@@ -1,0 +1,114 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grads/internal/simcore"
+)
+
+func TestConstantAndStep(t *testing.T) {
+	c := Constant(2)
+	if c.At(0) != 2 || c.At(100) != 2 {
+		t.Fatalf("Constant profile wrong: %v", c)
+	}
+	st := Step(80, 0, 2)
+	if st.At(79.9) != 0 || st.At(80) != 2 || st.At(1000) != 2 {
+		t.Fatalf("Step profile wrong: %v", st)
+	}
+}
+
+func TestSpike(t *testing.T) {
+	sp := Spike(10, 20, 1, 5)
+	cases := []struct{ t, want float64 }{{0, 1}, {9.99, 1}, {10, 5}, {19.99, 5}, {20, 1}, {100, 1}}
+	for _, c := range cases {
+		if got := sp.At(c.t); got != c.want {
+			t.Fatalf("Spike.At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestPlayDeliversValues(t *testing.T) {
+	s := simcore.New(1)
+	var history []float64
+	Play(s, Step(80, 0, 2), func(v float64) { history = append(history, v) })
+	s.Run()
+	if len(history) != 2 || history[0] != 0 || history[1] != 2 {
+		t.Fatalf("Play delivered %v, want [0 2]", history)
+	}
+	if s.Now() != 80 {
+		t.Fatalf("final time %v, want 80", s.Now())
+	}
+}
+
+func TestPlayCancelable(t *testing.T) {
+	s := simcore.New(1)
+	count := 0
+	evs := Play(s, Profile{{At: 1, Value: 1}, {At: 2, Value: 2}, {At: 3, Value: 3}}, func(float64) { count++ })
+	s.Schedule(1.5, func() {
+		for _, e := range evs {
+			if e.Time() > 1.5 {
+				e.Cancel()
+			}
+		}
+	})
+	s.Run()
+	if count != 1 {
+		t.Fatalf("fired %d points after cancel, want 1", count)
+	}
+}
+
+func TestNormalizeSortsAndDropsNegative(t *testing.T) {
+	p := Profile{{At: 5, Value: 3}, {At: -1, Value: 9}, {At: 2, Value: 1}}
+	q := p.Normalize()
+	if len(q) != 2 || q[0].At != 2 || q[1].At != 5 {
+		t.Fatalf("Normalize = %v", q)
+	}
+}
+
+func TestRandomWalkBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := RandomWalk(rng, 100, 1, 2, 1.5, 0, 4)
+	if len(p) != 100 {
+		t.Fatalf("walk has %d points, want 100", len(p))
+	}
+	for _, pt := range p {
+		if pt.Value < 0 || pt.Value > 4 {
+			t.Fatalf("walk escaped bounds: %v", pt)
+		}
+	}
+}
+
+// Property: At is piecewise-constant and right-continuous — querying exactly
+// at a point's time returns the point's value.
+func TestQuickAtMatchesPoints(t *testing.T) {
+	f := func(times []uint8, values []int8) bool {
+		n := len(times)
+		if len(values) < n {
+			n = len(values)
+		}
+		if n == 0 {
+			return true
+		}
+		var p Profile
+		for i := 0; i < n; i++ {
+			p = append(p, Point{At: float64(times[i]), Value: float64(values[i])})
+		}
+		p = p.Normalize()
+		for i, pt := range p {
+			// Skip duplicated timestamps (only the last one wins).
+			if i+1 < len(p) && p[i+1].At == pt.At {
+				continue
+			}
+			if p.At(pt.At) != pt.Value {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package mpi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// propWorld builds a flat single-site world of n ranks.
+func propWorld(n int) (*simcore.Sim, *World) {
+	sim := simcore.New(1)
+	g := topology.NewGrid(sim)
+	g.AddSite("S", 1e9, 1e-5)
+	var nodes []*topology.Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, g.AddNode(topology.NodeSpec{
+			Name: "n" + string(rune('a'+i)), Site: "S", MHz: 1000, FlopsPerCycle: 1,
+		}))
+	}
+	return sim, NewWorld(sim, g, "prop", nodes)
+}
+
+// Property: Bcast delivers the root's payload to every rank, for any comm
+// size, root and message size.
+func TestQuickBcastDeliversEverywhere(t *testing.T) {
+	f := func(sizeRaw, rootRaw uint8, bytesRaw uint16, value int64) bool {
+		size := int(sizeRaw%7) + 1
+		root := int(rootRaw) % size
+		bytes := float64(bytesRaw) + 1
+		sim, w := propWorld(size)
+		c := w.WorldComm()
+		got := make([]any, size)
+		w.Start(func(ctx *Ctx) {
+			var payload any
+			if c.Rank(ctx) == root {
+				payload = value
+			}
+			v, err := c.Bcast(ctx, root, bytes, payload)
+			if err != nil {
+				return
+			}
+			got[ctx.PhysRank()] = v
+		})
+		sim.Run()
+		for _, v := range got {
+			if v != value {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(81))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allreduce with integer addition computes the exact sum at every
+// rank regardless of comm size.
+func TestQuickAllreduceSum(t *testing.T) {
+	sum := func(a, b any) any {
+		if a == nil {
+			return b
+		}
+		return a.(int) + b.(int)
+	}
+	f := func(sizeRaw uint8, valsRaw [8]int8) bool {
+		size := int(sizeRaw%8) + 1
+		want := 0
+		for i := 0; i < size; i++ {
+			want += int(valsRaw[i])
+		}
+		sim, w := propWorld(size)
+		c := w.WorldComm()
+		ok := true
+		w.Start(func(ctx *Ctx) {
+			me := c.Rank(ctx)
+			v, err := c.Allreduce(ctx, 8, int(valsRaw[me]), sum)
+			if err != nil || v.(int) != want {
+				ok = false
+			}
+		})
+		sim.Run()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(82))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Allgather returns every rank's contribution in virtual-rank
+// order at every rank.
+func TestQuickAllgatherOrder(t *testing.T) {
+	f := func(sizeRaw uint8) bool {
+		size := int(sizeRaw%8) + 1
+		sim, w := propWorld(size)
+		c := w.WorldComm()
+		ok := true
+		w.Start(func(ctx *Ctx) {
+			me := c.Rank(ctx)
+			all, err := c.Allgather(ctx, 16, me*7)
+			if err != nil || len(all) != size {
+				ok = false
+				return
+			}
+			for i, v := range all {
+				if v != i*7 {
+					ok = false
+				}
+			}
+		})
+		sim.Run()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(83))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: message ordering — point-to-point messages between a fixed
+// (src, dst, tag) arrive in send order.
+func TestQuickP2POrdering(t *testing.T) {
+	f := func(countRaw uint8) bool {
+		count := int(countRaw%20) + 1
+		sim, w := propWorld(2)
+		ok := true
+		w.Start(func(ctx *Ctx) {
+			switch ctx.PhysRank() {
+			case 0:
+				for i := 0; i < count; i++ {
+					if err := ctx.SendPhys(1, 5, 100, i); err != nil {
+						ok = false
+						return
+					}
+				}
+			case 1:
+				for i := 0; i < count; i++ {
+					m, err := ctx.RecvPhys(0, 5)
+					if err != nil || m.Payload != i {
+						ok = false
+						return
+					}
+				}
+			}
+		})
+		sim.Run()
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(84))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailNodeAbortsWorld(t *testing.T) {
+	sim, w := propWorld(4)
+	c := w.WorldComm()
+	errs := make([]error, 4)
+	w.Start(func(ctx *Ctx) {
+		for i := 0; i < 1000; i++ {
+			if err := ctx.Compute(1e8); err != nil {
+				errs[ctx.PhysRank()] = err
+				return
+			}
+			if _, err := c.Allreduce(ctx, 8, nil, nil); err != nil {
+				errs[ctx.PhysRank()] = err
+				return
+			}
+		}
+	})
+	victim := w.Node(2).Name()
+	sim.Schedule(5, func() {
+		if lost := w.FailNode(victim); lost != 1 {
+			t.Errorf("FailNode lost %d procs, want 1", lost)
+		}
+	})
+	sim.Run()
+	if w.Running() != 0 {
+		t.Fatalf("%d ranks still running after node failure", w.Running())
+	}
+	if w.Err() == nil {
+		t.Fatal("world error not recorded")
+	}
+	if !w.Node(2).Down() {
+		t.Fatal("node not marked down")
+	}
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d finished normally despite the abort", i)
+		}
+	}
+}

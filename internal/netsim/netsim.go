@@ -1,0 +1,323 @@
+// Package netsim provides a flow-level network simulation with max-min fair
+// bandwidth sharing.
+//
+// Transfers are modeled as fluid flows over a route (a sequence of links).
+// All concurrent flows share link capacity max-min fairly: the allocation is
+// computed by progressive filling and recomputed whenever a flow starts or
+// ends or a link's background traffic changes. Latency is paid once per
+// route before the flow starts. This fidelity level captures everything the
+// GrADS experiments measure (transfer durations under contention and
+// time-varying cross traffic) without packet-level cost.
+package netsim
+
+import (
+	"fmt"
+	"math"
+
+	"grads/internal/simcore"
+)
+
+// Link is a network link with fixed capacity and latency plus adjustable
+// background (cross) traffic. Create links with Network.AddLink.
+type Link struct {
+	name       string
+	capacity   float64 // bytes per second
+	latency    float64 // seconds
+	background float64 // bytes per second consumed by cross traffic
+}
+
+// Name returns the link name.
+func (l *Link) Name() string { return l.name }
+
+// Capacity returns the link's raw capacity in bytes per second.
+func (l *Link) Capacity() float64 { return l.capacity }
+
+// Latency returns the link's one-way latency in seconds.
+func (l *Link) Latency() float64 { return l.latency }
+
+// Background returns the current cross-traffic consumption in bytes/s.
+func (l *Link) Background() float64 { return l.background }
+
+// residual returns capacity available to simulated flows, floored at a tiny
+// positive value so saturated links stall flows without dividing by zero.
+func (l *Link) residual() float64 {
+	r := l.capacity - l.background
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Network owns links and active flows and maintains the max-min fair
+// allocation in virtual time.
+type Network struct {
+	sim     *simcore.Sim
+	links   map[string]*Link
+	flows   []*flow
+	nextSeq int64
+
+	lastUpdate float64
+	doneEvent  *simcore.Event
+
+	bytesMoved float64 // cumulative completed-flow volume, for stats
+}
+
+type flow struct {
+	seq       int64
+	route     []*Link
+	remaining float64
+	total     float64
+	rate      float64
+	proc      *simcore.Proc
+}
+
+// New creates an empty network bound to sim.
+func New(sim *simcore.Sim) *Network {
+	return &Network{sim: sim, links: make(map[string]*Link), lastUpdate: sim.Now()}
+}
+
+// AddLink creates and registers a link. capacity is in bytes per second,
+// latency in seconds. It panics on a duplicate name or non-positive capacity.
+func (n *Network) AddLink(name string, capacity, latency float64) *Link {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netsim: link %q capacity must be positive", name))
+	}
+	if _, dup := n.links[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate link %q", name))
+	}
+	l := &Link{name: name, capacity: capacity, latency: latency}
+	n.links[name] = l
+	return l
+}
+
+// Link returns the named link, or nil.
+func (n *Network) Link(name string) *Link { return n.links[name] }
+
+// SetBackground changes a link's cross-traffic consumption (bytes/s) and
+// re-splits the bandwidth of all active flows.
+func (n *Network) SetBackground(l *Link, bytesPerSec float64) {
+	if bytesPerSec < 0 {
+		bytesPerSec = 0
+	}
+	n.advance()
+	l.background = bytesPerSec
+	n.reallocate()
+	n.reschedule()
+}
+
+// ActiveFlows returns the number of in-progress transfers.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// BytesMoved returns the cumulative volume of completed transfers.
+func (n *Network) BytesMoved() float64 { return n.bytesMoved }
+
+// RouteLatency returns the summed one-way latency of a route.
+func (n *Network) RouteLatency(route []*Link) float64 {
+	sum := 0.0
+	for _, l := range route {
+		sum += l.latency
+	}
+	return sum
+}
+
+// EstimateRate returns the max-min fair rate (bytes/s) that a new flow over
+// route would receive if it started now, given current flows and background
+// traffic. This is what an NWS-style bandwidth probe observes.
+func (n *Network) EstimateRate(route []*Link) float64 {
+	if len(route) == 0 {
+		return math.Inf(1)
+	}
+	phantom := &flow{route: route, remaining: 1}
+	n.flows = append(n.flows, phantom)
+	n.computeRates()
+	rate := phantom.rate
+	n.flows = n.flows[:len(n.flows)-1]
+	n.computeRates()
+	return rate
+}
+
+// TransferTimeEstimate predicts the duration of moving the given volume over
+// route under current conditions (latency + volume at the estimated rate).
+func (n *Network) TransferTimeEstimate(route []*Link, bytes float64) float64 {
+	if len(route) == 0 || bytes <= 0 {
+		return 0
+	}
+	return n.RouteLatency(route) + bytes/n.EstimateRate(route)
+}
+
+// Transfer moves bytes over route, blocking the calling process for the
+// route latency plus the fair-shared transmission time. It returns the bytes
+// actually delivered and the interrupt cause if interrupted mid-transfer.
+// An empty route (intra-node move) completes after a yield.
+func (n *Network) Transfer(p *simcore.Proc, route []*Link, bytes float64) (moved float64, err error) {
+	if len(route) == 0 || bytes <= 0 {
+		return bytes, p.Yield()
+	}
+	if err := p.Sleep(n.RouteLatency(route)); err != nil {
+		return 0, err
+	}
+	n.advance()
+	n.nextSeq++
+	f := &flow{seq: n.nextSeq, route: route, remaining: bytes, total: bytes, proc: p}
+	n.flows = append(n.flows, f)
+	n.reallocate()
+	n.reschedule()
+	if err := p.ParkWith(nil); err != nil {
+		n.removeFlow(f)
+		return f.total - f.remaining, err
+	}
+	return f.total, nil
+}
+
+// advance progresses all flows to the current time at their last rates.
+func (n *Network) advance() {
+	now := n.sim.Now()
+	dt := now - n.lastUpdate
+	if dt > 0 {
+		for _, f := range n.flows {
+			f.remaining -= f.rate * dt
+			if f.remaining < 1e-9+1e-12*f.total {
+				f.remaining = 0
+			}
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reallocate recomputes the max-min fair rate of every flow.
+func (n *Network) reallocate() { n.computeRates() }
+
+// computeRates runs progressive filling over the current flow set.
+func (n *Network) computeRates() {
+	if len(n.flows) == 0 {
+		return
+	}
+	type linkState struct {
+		residual float64
+		count    int // unfrozen flows crossing this link
+	}
+	states := make(map[*Link]*linkState)
+	for _, f := range n.flows {
+		for _, l := range f.route {
+			st := states[l]
+			if st == nil {
+				st = &linkState{residual: l.residual()}
+				states[l] = st
+			}
+			st.count++
+		}
+	}
+	frozen := make(map[*flow]bool, len(n.flows))
+	for len(frozen) < len(n.flows) {
+		// Find the tightest link share among links with unfrozen flows.
+		minShare := math.Inf(1)
+		for _, st := range states {
+			if st.count > 0 {
+				if sh := st.residual / float64(st.count); sh < minShare {
+					minShare = sh
+				}
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break
+		}
+		// Freeze every unfrozen flow crossing a bottleneck link.
+		progress := false
+		for _, f := range n.flows {
+			if frozen[f] {
+				continue
+			}
+			bottlenecked := false
+			for _, l := range f.route {
+				st := states[l]
+				if st.count > 0 && st.residual/float64(st.count) <= minShare*(1+1e-12) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			f.rate = minShare
+			frozen[f] = true
+			progress = true
+			for _, l := range f.route {
+				st := states[l]
+				st.residual -= minShare
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.count--
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// reschedule cancels the pending completion event and schedules the next
+// flow completion under current rates.
+func (n *Network) reschedule() {
+	if n.doneEvent != nil {
+		n.doneEvent.Cancel()
+		n.doneEvent = nil
+	}
+	if len(n.flows) == 0 {
+		return
+	}
+	soonest := math.Inf(1)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		if t := f.remaining / f.rate; t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	n.doneEvent = n.sim.Schedule(soonest, n.onCompletion)
+}
+
+// onCompletion finishes exhausted flows, wakes their processes and
+// reallocates bandwidth among the survivors.
+func (n *Network) onCompletion() {
+	n.doneEvent = nil
+	n.advance()
+	now := n.sim.Now()
+	var finished, rest []*flow
+	for _, f := range n.flows {
+		// A flow is done when no work remains — or when the work left is
+		// so small its completion time is absorbed by floating point
+		// (now + dt == now), which would otherwise loop the event forever.
+		if f.remaining <= 0 || (f.rate > 0 && now+f.remaining/f.rate == now) {
+			f.remaining = 0
+			finished = append(finished, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	n.flows = rest
+	n.reallocate()
+	n.reschedule()
+	for _, f := range finished {
+		n.bytesMoved += f.total
+		f.proc.Resume(nil)
+	}
+}
+
+// removeFlow deletes a flow whose process was interrupted.
+func (n *Network) removeFlow(f *flow) {
+	n.advance()
+	rest := n.flows[:0:0]
+	for _, x := range n.flows {
+		if x != f {
+			rest = append(rest, x)
+		}
+	}
+	n.flows = rest
+	n.reallocate()
+	n.reschedule()
+}

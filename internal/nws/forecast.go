@@ -1,0 +1,262 @@
+// Package nws reproduces the role of the Network Weather Service in GrADS:
+// periodic sensors measure CPU availability and end-to-end network latency
+// and bandwidth on the emulated Grid, and a forecaster ensemble predicts
+// their near-future values. Schedulers and reschedulers consume the
+// forecasts when ranking resources and evaluating migrations.
+//
+// The forecasting design follows NWS: several simple predictors run in
+// parallel on each measurement series, each predictor's one-step-ahead error
+// is tracked, and the ensemble's forecast is the prediction of whichever
+// predictor has been most accurate so far.
+package nws
+
+import (
+	"math"
+	"sort"
+)
+
+// Forecaster predicts the next value of a scalar time series.
+type Forecaster interface {
+	// Name identifies the predictor (for diagnostics).
+	Name() string
+	// Update feeds the next observed value.
+	Update(v float64)
+	// Forecast predicts the next value. Before any update it returns NaN.
+	Forecast() float64
+}
+
+// LastValue predicts the most recent observation.
+type LastValue struct {
+	v   float64
+	has bool
+}
+
+// Name implements Forecaster.
+func (f *LastValue) Name() string { return "last" }
+
+// Update implements Forecaster.
+func (f *LastValue) Update(v float64) { f.v, f.has = v, true }
+
+// Forecast implements Forecaster.
+func (f *LastValue) Forecast() float64 {
+	if !f.has {
+		return math.NaN()
+	}
+	return f.v
+}
+
+// RunningMean predicts the mean of all observations.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// Name implements Forecaster.
+func (f *RunningMean) Name() string { return "mean" }
+
+// Update implements Forecaster.
+func (f *RunningMean) Update(v float64) { f.sum += v; f.n++ }
+
+// Forecast implements Forecaster.
+func (f *RunningMean) Forecast() float64 {
+	if f.n == 0 {
+		return math.NaN()
+	}
+	return f.sum / float64(f.n)
+}
+
+// SlidingMean predicts the mean of the last w observations.
+type SlidingMean struct {
+	w   int
+	buf []float64
+}
+
+// NewSlidingMean creates a sliding-window mean predictor of width w (>= 1).
+func NewSlidingMean(w int) *SlidingMean {
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingMean{w: w}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMean) Name() string { return "swmean" }
+
+// Update implements Forecaster.
+func (f *SlidingMean) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.w {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Forecast implements Forecaster.
+func (f *SlidingMean) Forecast() float64 {
+	if len(f.buf) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range f.buf {
+		sum += v
+	}
+	return sum / float64(len(f.buf))
+}
+
+// SlidingMedian predicts the median of the last w observations; it is robust
+// to the load spikes common in grid CPU series.
+type SlidingMedian struct {
+	w   int
+	buf []float64
+}
+
+// NewSlidingMedian creates a sliding-window median predictor of width w.
+func NewSlidingMedian(w int) *SlidingMedian {
+	if w < 1 {
+		w = 1
+	}
+	return &SlidingMedian{w: w}
+}
+
+// Name implements Forecaster.
+func (f *SlidingMedian) Name() string { return "swmedian" }
+
+// Update implements Forecaster.
+func (f *SlidingMedian) Update(v float64) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) > f.w {
+		f.buf = f.buf[1:]
+	}
+}
+
+// Forecast implements Forecaster.
+func (f *SlidingMedian) Forecast() float64 {
+	n := len(f.buf)
+	if n == 0 {
+		return math.NaN()
+	}
+	tmp := append([]float64(nil), f.buf...)
+	sort.Float64s(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// ExpSmooth predicts with exponential smoothing: s <- a*v + (1-a)*s.
+type ExpSmooth struct {
+	alpha float64
+	s     float64
+	has   bool
+}
+
+// NewExpSmooth creates an exponential-smoothing predictor with factor alpha
+// in (0, 1].
+func NewExpSmooth(alpha float64) *ExpSmooth {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	return &ExpSmooth{alpha: alpha}
+}
+
+// Name implements Forecaster.
+func (f *ExpSmooth) Name() string { return "expsmooth" }
+
+// Update implements Forecaster.
+func (f *ExpSmooth) Update(v float64) {
+	if !f.has {
+		f.s, f.has = v, true
+		return
+	}
+	f.s = f.alpha*v + (1-f.alpha)*f.s
+}
+
+// Forecast implements Forecaster.
+func (f *ExpSmooth) Forecast() float64 {
+	if !f.has {
+		return math.NaN()
+	}
+	return f.s
+}
+
+// Ensemble runs several predictors on one series and forecasts with the one
+// whose cumulative one-step-ahead absolute error is lowest, exactly as NWS
+// selects its forecasting method per series.
+type Ensemble struct {
+	members []Forecaster
+	errSum  []float64
+	n       int
+	last    float64
+}
+
+// NewEnsemble creates an ensemble over the given members; with none given it
+// uses the standard NWS-style set.
+func NewEnsemble(members ...Forecaster) *Ensemble {
+	if len(members) == 0 {
+		members = []Forecaster{
+			&LastValue{},
+			&RunningMean{},
+			NewSlidingMean(10),
+			NewSlidingMedian(10),
+			NewExpSmooth(0.25),
+			NewExpSmooth(0.75),
+		}
+	}
+	return &Ensemble{members: members, errSum: make([]float64, len(members))}
+}
+
+// Update scores every member's previous forecast against v, then feeds v to
+// all members.
+func (e *Ensemble) Update(v float64) {
+	if e.n > 0 {
+		for i, m := range e.members {
+			p := m.Forecast()
+			if !math.IsNaN(p) {
+				e.errSum[i] += math.Abs(p - v)
+			}
+		}
+	}
+	for _, m := range e.members {
+		m.Update(v)
+	}
+	e.n++
+	e.last = v
+}
+
+// Forecast returns the best member's prediction, or NaN before any update.
+func (e *Ensemble) Forecast() float64 {
+	if e.n == 0 {
+		return math.NaN()
+	}
+	best, bestErr := -1, math.Inf(1)
+	for i := range e.members {
+		if e.errSum[i] < bestErr {
+			best, bestErr = i, e.errSum[i]
+		}
+	}
+	return e.members[best].Forecast()
+}
+
+// Best returns the name of the currently most accurate member.
+func (e *Ensemble) Best() string {
+	if e.n == 0 {
+		return ""
+	}
+	best, bestErr := 0, math.Inf(1)
+	for i := range e.members {
+		if e.errSum[i] < bestErr {
+			best, bestErr = i, e.errSum[i]
+		}
+	}
+	return e.members[best].Name()
+}
+
+// Observations returns how many values the ensemble has seen.
+func (e *Ensemble) Observations() int { return e.n }
+
+// Last returns the most recent observation (0 before any update).
+func (e *Ensemble) Last() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.last
+}

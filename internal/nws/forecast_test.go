@@ -1,0 +1,167 @@
+package nws
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func feed(f Forecaster, vs ...float64) {
+	for _, v := range vs {
+		f.Update(v)
+	}
+}
+
+func TestLastValue(t *testing.T) {
+	f := &LastValue{}
+	if !math.IsNaN(f.Forecast()) {
+		t.Fatal("empty forecast should be NaN")
+	}
+	feed(f, 1, 2, 3)
+	if f.Forecast() != 3 {
+		t.Fatalf("LastValue = %v", f.Forecast())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	f := &RunningMean{}
+	feed(f, 1, 2, 3, 4)
+	if f.Forecast() != 2.5 {
+		t.Fatalf("RunningMean = %v", f.Forecast())
+	}
+}
+
+func TestSlidingMeanWindow(t *testing.T) {
+	f := NewSlidingMean(3)
+	feed(f, 100, 1, 2, 3) // 100 falls out of the window
+	if f.Forecast() != 2 {
+		t.Fatalf("SlidingMean = %v, want 2", f.Forecast())
+	}
+}
+
+func TestSlidingMedianRobustToSpike(t *testing.T) {
+	f := NewSlidingMedian(5)
+	feed(f, 1, 1, 1, 1000, 1)
+	if f.Forecast() != 1 {
+		t.Fatalf("SlidingMedian = %v, want 1", f.Forecast())
+	}
+	g := NewSlidingMedian(4)
+	feed(g, 1, 2, 3, 4)
+	if g.Forecast() != 2.5 {
+		t.Fatalf("even-window median = %v, want 2.5", g.Forecast())
+	}
+}
+
+func TestExpSmooth(t *testing.T) {
+	f := NewExpSmooth(0.5)
+	feed(f, 10)
+	if f.Forecast() != 10 {
+		t.Fatalf("first value = %v", f.Forecast())
+	}
+	feed(f, 20)
+	if f.Forecast() != 15 {
+		t.Fatalf("smoothed = %v, want 15", f.Forecast())
+	}
+	// Constructor clamps nonsense alphas.
+	if NewExpSmooth(-3).alpha != 0.5 || NewExpSmooth(2).alpha != 0.5 {
+		t.Fatal("alpha clamp failed")
+	}
+}
+
+func TestEnsemblePicksAccurateMember(t *testing.T) {
+	// A constant series: every member converges, but after a single outlier
+	// the median should beat the last-value predictor.
+	e := NewEnsemble()
+	for i := 0; i < 20; i++ {
+		e.Update(5)
+	}
+	e.Update(50) // spike
+	e.Update(5)
+	e.Update(5)
+	if got := e.Forecast(); math.Abs(got-5) > 1 {
+		t.Fatalf("ensemble forecast %v, want ~5 despite spike", got)
+	}
+	if e.Best() == "" {
+		t.Fatal("Best() empty after updates")
+	}
+	if e.Observations() != 23 {
+		t.Fatalf("Observations = %d", e.Observations())
+	}
+	if e.Last() != 5 {
+		t.Fatalf("Last = %v", e.Last())
+	}
+}
+
+func TestEnsembleTracksStep(t *testing.T) {
+	// After a step change and enough post-step samples, the forecast should
+	// be near the new level (the last-value / sliding members adapt).
+	e := NewEnsemble()
+	for i := 0; i < 30; i++ {
+		e.Update(1.0)
+	}
+	for i := 0; i < 30; i++ {
+		e.Update(0.25)
+	}
+	if got := e.Forecast(); math.Abs(got-0.25) > 0.1 {
+		t.Fatalf("post-step forecast %v, want ~0.25", got)
+	}
+}
+
+func TestEnsembleEmpty(t *testing.T) {
+	e := NewEnsemble()
+	if !math.IsNaN(e.Forecast()) {
+		t.Fatal("empty ensemble should forecast NaN")
+	}
+	if e.Best() != "" {
+		t.Fatal("empty ensemble Best() should be empty")
+	}
+}
+
+// Property: for any bounded series, the ensemble forecast stays within the
+// observed min/max envelope (all members are convex combinations of inputs).
+func TestQuickForecastWithinEnvelope(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		e := NewEnsemble()
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r)
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+			e.Update(v)
+		}
+		got := e.Forecast()
+		return got >= lo-1e-9 && got <= hi+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on a constant series every forecaster converges exactly.
+func TestQuickConstantSeriesExact(t *testing.T) {
+	f := func(v uint16, n uint8) bool {
+		k := int(n%50) + 2
+		val := float64(v)
+		members := []Forecaster{
+			&LastValue{}, &RunningMean{}, NewSlidingMean(5),
+			NewSlidingMedian(5), NewExpSmooth(0.3),
+		}
+		for _, m := range members {
+			for i := 0; i < k; i++ {
+				m.Update(val)
+			}
+			if math.Abs(m.Forecast()-val) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(32))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

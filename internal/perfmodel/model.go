@@ -1,0 +1,136 @@
+package perfmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"grads/internal/topology"
+)
+
+// DefaultMissPenaltyNS is the memory-access penalty per predicted cache
+// miss, in nanoseconds (2003-era SDRAM latency).
+const DefaultMissPenaltyNS = 120.0
+
+// Sample is one profiled small-size run of a component: its problem size,
+// the floating-point operations counted, and the MRD histogram observed.
+// In the paper these come from PAPI hardware counters and binary
+// instrumentation; here the application cost models synthesize them.
+type Sample struct {
+	N     float64
+	Flops float64
+	Hist  Histogram
+}
+
+// ComponentModel is the architecture-independent performance model of one
+// application component: resource usage (flops, memory behavior) as
+// functions of problem size, convertible to a time estimate on any node.
+type ComponentModel struct {
+	Name          string
+	Flops         Poly
+	MRD           *MRDModel
+	MissPenaltyNS float64
+}
+
+// ErrNoSamples reports an attempt to fit a model with no profiles.
+var ErrNoSamples = errors.New("perfmodel: no samples")
+
+// FitComponent builds a ComponentModel from small-run profiles.
+// flopDegree is the degree of the flop-count fit (e.g. 3 for dense linear
+// algebra); mrdDegree the per-reference-group fit degree. Samples may omit
+// histograms, in which case the model is compute-only.
+func FitComponent(name string, samples []Sample, flopDegree, mrdDegree int) (*ComponentModel, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	ns := make([]float64, len(samples))
+	flops := make([]float64, len(samples))
+	withHist := true
+	for i, s := range samples {
+		ns[i] = s.N
+		flops[i] = s.Flops
+		if len(s.Hist) == 0 {
+			withHist = false
+		}
+	}
+	fp, err := Polyfit(ns, flops, flopDegree)
+	if err != nil {
+		return nil, err
+	}
+	cm := &ComponentModel{Name: name, Flops: fp, MissPenaltyNS: DefaultMissPenaltyNS}
+	if withHist {
+		hists := make([]Histogram, len(samples))
+		for i, s := range samples {
+			hists[i] = s.Hist
+		}
+		mrd, err := FitMRD(ns, hists, mrdDegree)
+		if err != nil {
+			return nil, err
+		}
+		cm.MRD = mrd
+	}
+	return cm, nil
+}
+
+// FlopsAt predicts the flop count at problem size n (never negative).
+func (c *ComponentModel) FlopsAt(n float64) float64 {
+	f := c.Flops.Eval(n)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// cacheLines returns a node's L2 capacity in lines.
+func cacheLines(node *topology.Node) float64 {
+	cc := node.Spec.Cache
+	if cc.L2KB <= 0 || cc.LineBytes <= 0 {
+		return 16384 // 512 KiB of 32 B lines, the PIII default
+	}
+	return float64(cc.L2KB) * 1024 / float64(cc.LineBytes)
+}
+
+// Time estimates the component's execution time at problem size n on a node
+// at full availability: compute time at the node's sustained flop rate plus
+// predicted memory stall time.
+func (c *ComponentModel) Time(n float64, node *topology.Node) float64 {
+	t := c.FlopsAt(n) / node.Spec.Flops()
+	if c.MRD != nil {
+		t += c.MRD.Misses(n, cacheLines(node)) * c.MissPenaltyNS * 1e-9
+	}
+	return t
+}
+
+// TimeLoaded estimates execution time when the node delivers only the given
+// availability fraction of its CPU (an NWS forecast); memory penalties scale
+// the same way since the process is descheduled as a whole.
+func (c *ComponentModel) TimeLoaded(n float64, node *topology.Node, avail float64) float64 {
+	if avail <= 0 {
+		avail = 1e-3
+	}
+	return c.Time(n, node) / avail
+}
+
+// CrossValidate measures how well the §3.2 fitting pipeline extrapolates:
+// it fits a model on all but the last holdOut samples (which must be the
+// largest problem sizes — the direction GrADS extrapolates in) and returns
+// the mean relative error of the flop predictions on the held-out samples.
+func CrossValidate(samples []Sample, holdOut, flopDegree, mrdDegree int) (float64, error) {
+	if holdOut <= 0 || holdOut >= len(samples) {
+		return 0, fmt.Errorf("perfmodel: holdOut %d of %d samples", holdOut, len(samples))
+	}
+	train := samples[:len(samples)-holdOut]
+	test := samples[len(samples)-holdOut:]
+	m, err := FitComponent("cv", train, flopDegree, mrdDegree)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, s := range test {
+		if s.Flops == 0 {
+			continue
+		}
+		sum += math.Abs(m.FlopsAt(s.N)-s.Flops) / s.Flops
+	}
+	return sum / float64(len(test)), nil
+}

@@ -1,0 +1,132 @@
+package perfmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bin is one group of memory references in an MRD histogram: Count accesses
+// whose reuse distance (unique cache lines touched between two accesses to
+// the same line) is Dist.
+type Bin struct {
+	Dist  float64 // reuse distance in cache lines
+	Count float64 // number of accesses in this group
+}
+
+// Histogram is a memory-reuse-distance histogram collected from one run.
+// Bins correspond positionally across runs of different problem sizes (each
+// bin is the same static reference group observed at a different size).
+type Histogram []Bin
+
+// Accesses returns the histogram's total access count.
+func (h Histogram) Accesses() float64 {
+	sum := 0.0
+	for _, b := range h {
+		sum += b.Count
+	}
+	return sum
+}
+
+// Misses returns the number of accesses whose reuse distance exceeds a
+// cache of the given capacity in lines (fully-associative stack-distance
+// criterion).
+func (h Histogram) Misses(cacheLines float64) float64 {
+	sum := 0.0
+	for _, b := range h {
+		if b.Dist > cacheLines {
+			sum += b.Count
+		}
+	}
+	return sum
+}
+
+// RefModel models one reference group: its reuse distance and access count
+// as polynomials in the problem size.
+type RefModel struct {
+	Dist  Poly
+	Count Poly
+}
+
+// MRDModel predicts cache behavior at any problem size from per-reference
+// models fitted on small-size histograms (§3.2).
+type MRDModel struct {
+	Refs []RefModel
+}
+
+// ErrBadHistograms reports inconsistent training histograms.
+var ErrBadHistograms = errors.New("perfmodel: histograms empty or bin counts differ across sizes")
+
+// FitMRD fits an MRDModel from histograms collected at problem sizes ns.
+// All histograms must have the same number of bins (the same reference
+// groups). degree is the polynomial degree used for both the distance and
+// count models of each group.
+func FitMRD(ns []float64, hists []Histogram, degree int) (*MRDModel, error) {
+	if len(ns) == 0 || len(ns) != len(hists) || len(hists[0]) == 0 {
+		return nil, ErrBadHistograms
+	}
+	bins := len(hists[0])
+	for _, h := range hists {
+		if len(h) != bins {
+			return nil, ErrBadHistograms
+		}
+	}
+	m := &MRDModel{Refs: make([]RefModel, bins)}
+	dists := make([]float64, len(ns))
+	counts := make([]float64, len(ns))
+	for b := 0; b < bins; b++ {
+		for i, h := range hists {
+			dists[i] = h[b].Dist
+			counts[i] = h[b].Count
+		}
+		dp, err := Polyfit(ns, dists, degree)
+		if err != nil {
+			return nil, fmt.Errorf("bin %d distance fit: %w", b, err)
+		}
+		cp, err := Polyfit(ns, counts, degree)
+		if err != nil {
+			return nil, fmt.Errorf("bin %d count fit: %w", b, err)
+		}
+		m.Refs[b] = RefModel{Dist: dp, Count: cp}
+	}
+	return m, nil
+}
+
+// Predict evaluates the model at problem size n, returning the predicted
+// histogram.
+func (m *MRDModel) Predict(n float64) Histogram {
+	h := make(Histogram, len(m.Refs))
+	for i, r := range m.Refs {
+		d := r.Dist.Eval(n)
+		c := r.Count.Eval(n)
+		if d < 0 {
+			d = 0
+		}
+		if c < 0 {
+			c = 0
+		}
+		h[i] = Bin{Dist: d, Count: c}
+	}
+	return h
+}
+
+// Misses predicts the miss count at problem size n for a cache holding
+// cacheLines lines: the summed counts of reference groups whose predicted
+// reuse distance exceeds the cache size.
+func (m *MRDModel) Misses(n, cacheLines float64) float64 {
+	return m.Predict(n).Misses(cacheLines)
+}
+
+// Accesses predicts the total access count at problem size n.
+func (m *MRDModel) Accesses(n float64) float64 {
+	return m.Predict(n).Accesses()
+}
+
+// MissRatio predicts misses/accesses at size n for the given cache, or 0
+// when no accesses are predicted.
+func (m *MRDModel) MissRatio(n, cacheLines float64) float64 {
+	a := m.Accesses(n)
+	if a <= 0 {
+		return 0
+	}
+	return m.Misses(n, cacheLines) / a
+}

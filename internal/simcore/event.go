@@ -1,0 +1,87 @@
+package simcore
+
+import "container/heap"
+
+// Event is a scheduled callback in virtual time. Events are ordered by time,
+// with insertion order breaking ties, which makes runs fully deterministic.
+// An Event may be canceled before it fires; canceled events are skipped by
+// the kernel and never run.
+type Event struct {
+	t        float64
+	seq      int64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (e *Event) Time() float64 { return e.t }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Canceling an event that already
+// fired or was already canceled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// eventHeap is a min-heap of events keyed by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// push inserts an event into the heap.
+func (h *eventHeap) push(e *Event) { heap.Push(h, e) }
+
+// popNext removes and returns the earliest non-canceled event,
+// or nil if the heap holds no live events.
+func (h *eventHeap) popNext() *Event {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(*Event)
+		if !e.canceled {
+			return e
+		}
+	}
+	return nil
+}
+
+// peekNext returns the earliest non-canceled event without removing it,
+// discarding canceled events it encounters, or nil if none remain.
+func (h *eventHeap) peekNext() *Event {
+	for h.Len() > 0 {
+		e := (*h)[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(h)
+	}
+	return nil
+}

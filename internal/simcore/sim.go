@@ -1,0 +1,144 @@
+// Package simcore provides a deterministic discrete-event simulation kernel
+// with virtual time and goroutine-based simulated processes.
+//
+// The kernel is the substrate for the Grid emulator (our MicroGrid
+// equivalent): the network model, CPU model, grid services, the MPI layer and
+// the GrADS runtime all execute inside a single Sim. Exactly one goroutine —
+// either the kernel or one simulated process — runs at any moment, so
+// simulations are fully deterministic: identical inputs and seeds yield
+// identical traces.
+package simcore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sim is a discrete-event simulation. The zero value is not usable; create
+// one with New.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	rng    *rand.Rand
+
+	nextProcID int
+	liveProcs  map[int]*Proc
+
+	stopped bool
+	tracer  func(t float64, msg string)
+}
+
+// New creates a simulation whose random source is seeded with seed.
+// Virtual time starts at 0 and is measured in seconds.
+func New(seed int64) *Sim {
+	return &Sim{
+		rng:       rand.New(rand.NewSource(seed)),
+		liveProcs: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// SetTracer installs a trace sink called by Tracef. A nil sink disables
+// tracing (the default).
+func (s *Sim) SetTracer(fn func(t float64, msg string)) { s.tracer = fn }
+
+// Tracef emits a trace line to the installed tracer, if any.
+func (s *Sim) Tracef(format string, args ...any) {
+	if s.tracer != nil {
+		s.tracer(s.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// Schedule runs fn after delay seconds of virtual time and returns the
+// scheduled event, which may be canceled. A negative delay is treated as 0.
+func (s *Sim) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t and returns the scheduled event.
+// Scheduling in the past is clamped to the present.
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &Event{t: t, seq: s.seq, fn: fn}
+	s.events.push(e)
+	return e
+}
+
+// Stop makes the current Run call return after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run processes events until no live events remain or Stop is called.
+// It returns the final virtual time.
+func (s *Sim) Run() float64 { return s.RunUntil(math.Inf(1)) }
+
+// RunUntil processes events with firing times <= horizon, then advances the
+// clock to min(horizon, next event time) and returns the current time.
+// If horizon is +Inf the clock is left at the last fired event.
+func (s *Sim) RunUntil(horizon float64) float64 {
+	s.stopped = false
+	for !s.stopped {
+		e := s.events.peekNext()
+		if e == nil {
+			break
+		}
+		if e.t > horizon {
+			s.now = horizon
+			return s.now
+		}
+		s.events.popNext()
+		s.now = e.t
+		e.fn()
+	}
+	if !math.IsInf(horizon, 1) && horizon > s.now {
+		s.now = horizon
+	}
+	return s.now
+}
+
+// Step fires exactly one event, if one exists, and reports whether it did.
+func (s *Sim) Step() bool {
+	e := s.events.popNext()
+	if e == nil {
+		return false
+	}
+	s.now = e.t
+	e.fn()
+	return true
+}
+
+// PendingEvents returns the number of live (non-canceled) scheduled events.
+func (s *Sim) PendingEvents() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs returns the names of processes that have been spawned and have
+// not yet terminated, sorted for determinism. It is a debugging aid for
+// detecting deadlocked simulations.
+func (s *Sim) LiveProcs() []string {
+	names := make([]string, 0, len(s.liveProcs))
+	for _, p := range s.liveProcs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,260 @@
+package simcore
+
+// waiter pairs a parked process with the wait-queue bookkeeping needed to
+// wake it or remove it on interrupt.
+type waiter struct {
+	p       *Proc
+	removed bool
+}
+
+// waitQueue is a FIFO of parked processes. Wakeups preserve arrival order,
+// which keeps simulations deterministic.
+type waitQueue struct {
+	ws []*waiter
+}
+
+// add registers p at the tail and returns its waiter record.
+func (q *waitQueue) add(p *Proc) *waiter {
+	w := &waiter{p: p}
+	q.ws = append(q.ws, w)
+	return w
+}
+
+// popLive removes and returns the first non-removed waiter, or nil.
+func (q *waitQueue) popLive() *waiter {
+	for len(q.ws) > 0 {
+		w := q.ws[0]
+		q.ws = q.ws[1:]
+		if !w.removed {
+			return w
+		}
+	}
+	return nil
+}
+
+// len reports the number of live waiters.
+func (q *waitQueue) len() int {
+	n := 0
+	for _, w := range q.ws {
+		if !w.removed {
+			n++
+		}
+	}
+	return n
+}
+
+// Signal is a broadcast/wakeup condition for simulated processes.
+// The zero value is not usable; create one with NewSignal.
+type Signal struct {
+	sim *Sim
+	q   waitQueue
+}
+
+// NewSignal creates a Signal bound to sim.
+func NewSignal(sim *Sim) *Signal { return &Signal{sim: sim} }
+
+// Wait parks the calling process until Fire or Broadcast wakes it.
+// It returns the interrupt cause if the process was interrupted.
+func (g *Signal) Wait(p *Proc) error {
+	w := g.q.add(p)
+	p.unblock = func() { w.removed = true }
+	return p.park()
+}
+
+// WaitTimeout parks the calling process until a wakeup or until timeout
+// seconds elapse. It reports whether the wakeup arrived before the timeout;
+// err carries the interrupt cause, if any.
+func (g *Signal) WaitTimeout(p *Proc, timeout float64) (woken bool, err error) {
+	w := g.q.add(p)
+	fired := false
+	ev := g.sim.Schedule(timeout, func() {
+		if !w.removed {
+			w.removed = true
+			fired = true
+			p.run(nil)
+		}
+	})
+	p.unblock = func() { w.removed = true; ev.Cancel() }
+	err = p.park()
+	ev.Cancel()
+	return err == nil && !fired, err
+}
+
+// Fire wakes the longest-waiting process, if any, and reports whether one
+// was woken. The wakeup is delivered as an immediate event, so the waiter
+// resumes after the caller's current event completes.
+func (g *Signal) Fire() bool {
+	w := g.q.popLive()
+	if w == nil {
+		return false
+	}
+	w.removed = true
+	w.p.unblock = nil
+	g.sim.Schedule(0, func() { w.p.run(nil) })
+	return true
+}
+
+// Broadcast wakes all waiting processes in arrival order and returns the
+// number woken.
+func (g *Signal) Broadcast() int {
+	n := 0
+	for g.Fire() {
+		n++
+	}
+	return n
+}
+
+// Waiters returns the number of processes currently parked on the signal.
+func (g *Signal) Waiters() int { return g.q.len() }
+
+// Chan is a FIFO message queue for simulated processes, analogous to a Go
+// channel with capacity cap (0 means unbounded). Delivery is instantaneous
+// in virtual time; transport costs are modeled by higher layers.
+type Chan struct {
+	sim     *Sim
+	cap     int // 0 = unbounded
+	buf     []any
+	getters waitQueue
+	putters waitQueue
+	closed  bool
+}
+
+// NewChan creates a message queue. capacity <= 0 means unbounded.
+func NewChan(sim *Sim, capacity int) *Chan {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan{sim: sim, cap: capacity}
+}
+
+// Len returns the number of buffered messages.
+func (c *Chan) Len() int { return len(c.buf) }
+
+// Put appends v, blocking while the queue is at capacity. It returns the
+// interrupt cause if the caller was interrupted while blocked.
+func (c *Chan) Put(p *Proc, v any) error {
+	for c.cap > 0 && len(c.buf) >= c.cap {
+		w := c.putters.add(p)
+		p.unblock = func() { w.removed = true }
+		if err := p.park(); err != nil {
+			return err
+		}
+	}
+	c.buf = append(c.buf, v)
+	c.wakeGetter()
+	return nil
+}
+
+// TryPut appends v without blocking; it reports whether the value was
+// accepted (false only for a full bounded queue).
+func (c *Chan) TryPut(v any) bool {
+	if c.cap > 0 && len(c.buf) >= c.cap {
+		return false
+	}
+	c.buf = append(c.buf, v)
+	c.wakeGetter()
+	return true
+}
+
+// Get removes and returns the head message, blocking while the queue is
+// empty. It returns the interrupt cause if the caller was interrupted.
+func (c *Chan) Get(p *Proc) (any, error) {
+	for len(c.buf) == 0 {
+		w := c.getters.add(p)
+		p.unblock = func() { w.removed = true }
+		if err := p.park(); err != nil {
+			return nil, err
+		}
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	c.wakePutter()
+	return v, nil
+}
+
+// GetTimeout is Get with a timeout in seconds. ok is false if the timeout
+// expired (or the caller was interrupted) before a message arrived.
+func (c *Chan) GetTimeout(p *Proc, timeout float64) (v any, ok bool, err error) {
+	deadline := c.sim.now + timeout
+	for len(c.buf) == 0 {
+		remain := deadline - c.sim.now
+		if remain <= 0 {
+			return nil, false, nil
+		}
+		w := c.getters.add(p)
+		fired := false
+		ev := c.sim.Schedule(remain, func() {
+			if !w.removed {
+				w.removed = true
+				fired = true
+				p.run(nil)
+			}
+		})
+		p.unblock = func() { w.removed = true; ev.Cancel() }
+		err := p.park()
+		ev.Cancel()
+		if err != nil {
+			return nil, false, err
+		}
+		if fired && len(c.buf) == 0 {
+			return nil, false, nil
+		}
+	}
+	v = c.buf[0]
+	c.buf = c.buf[1:]
+	c.wakePutter()
+	return v, true, nil
+}
+
+func (c *Chan) wakeGetter() {
+	if w := c.getters.popLive(); w != nil {
+		w.removed = true
+		w.p.unblock = nil
+		c.sim.Schedule(0, func() { w.p.run(nil) })
+	}
+}
+
+func (c *Chan) wakePutter() {
+	if w := c.putters.popLive(); w != nil {
+		w.removed = true
+		w.p.unblock = nil
+		c.sim.Schedule(0, func() { w.p.run(nil) })
+	}
+}
+
+// Semaphore is a counting semaphore with FIFO grant order.
+type Semaphore struct {
+	sim   *Sim
+	avail int
+	q     waitQueue
+}
+
+// NewSemaphore creates a semaphore with n initial permits.
+func NewSemaphore(sim *Sim, n int) *Semaphore { return &Semaphore{sim: sim, avail: n} }
+
+// Available returns the number of free permits.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Acquire takes one permit, blocking until one is free. It returns the
+// interrupt cause if the caller was interrupted while blocked.
+func (s *Semaphore) Acquire(p *Proc) error {
+	for s.avail == 0 {
+		w := s.q.add(p)
+		p.unblock = func() { w.removed = true }
+		if err := p.park(); err != nil {
+			return err
+		}
+	}
+	s.avail--
+	return nil
+}
+
+// Release returns one permit and wakes the longest waiter, if any.
+func (s *Semaphore) Release() {
+	s.avail++
+	if w := s.q.popLive(); w != nil {
+		w.removed = true
+		w.p.unblock = nil
+		s.sim.Schedule(0, func() { w.p.run(nil) })
+	}
+}

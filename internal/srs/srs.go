@@ -1,0 +1,218 @@
+// Package srs implements the Stop Restart Software of §4.1: a user-level
+// checkpointing library that lets a running application checkpoint
+// registered data, be stopped at an execution point, and be restarted later
+// on a different processor configuration — transparently redistributing
+// block-cyclic data from N to M processes. Checkpoints are held in IBP
+// depots on the writers' local disks.
+//
+// An external component (the rescheduler) interacts with the Runtime
+// Support System (RSS) daemon, which exists for the duration of the
+// application execution and spans migrations.
+package srs
+
+import (
+	"fmt"
+	"sort"
+
+	"grads/internal/ibp"
+	"grads/internal/mpi"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// Ckpt records one stored checkpoint blob.
+type Ckpt struct {
+	Key   string
+	Depot *topology.Node
+	Bytes float64
+}
+
+// RSS is the Runtime Support System daemon state. It is created where the
+// user invokes the application manager, before the application starts, and
+// survives across migrations.
+type RSS struct {
+	sim     *simcore.Sim
+	storage *ibp.System
+	app     string
+
+	stopRequested bool
+	resumeMarker  int
+	ckpts         map[string]Ckpt
+	migrations    int
+	stopSignal    *simcore.Signal
+	stoppedRanks  int
+	expectedRanks int
+}
+
+// NewRSS creates the RSS daemon for one application execution.
+func NewRSS(sim *simcore.Sim, storage *ibp.System, appName string) *RSS {
+	return &RSS{
+		sim:        sim,
+		storage:    storage,
+		app:        appName,
+		ckpts:      make(map[string]Ckpt),
+		stopSignal: simcore.NewSignal(sim),
+	}
+}
+
+// RequestStop asks every attached process to checkpoint and terminate at
+// its next SRS check point (called by the rescheduler).
+func (r *RSS) RequestStop(expectedRanks int) {
+	r.stopRequested = true
+	r.expectedRanks = expectedRanks
+	r.stoppedRanks = 0
+	r.stopSignal.Broadcast() // wake WaitAllStopped callers parked pre-request
+}
+
+// ClearStop resets the stop flag for the restarted execution and counts a
+// migration.
+func (r *RSS) ClearStop() {
+	r.stopRequested = false
+	r.migrations++
+}
+
+// StopRequested reports whether a stop is pending.
+func (r *RSS) StopRequested() bool { return r.stopRequested }
+
+// Migrations returns how many migrations this RSS has spanned.
+func (r *RSS) Migrations() int { return r.migrations }
+
+// SetResumeMarker records application progress (e.g. the next panel index)
+// for the restarted run.
+func (r *RSS) SetResumeMarker(m int) { r.resumeMarker = m }
+
+// ResumeMarker returns the recorded progress marker.
+func (r *RSS) ResumeMarker() int { return r.resumeMarker }
+
+// WaitAllStopped blocks until a stop has been requested and every expected
+// rank has checkpointed and acknowledged it.
+func (r *RSS) WaitAllStopped(p *simcore.Proc) error {
+	for !r.stopRequested || r.stoppedRanks < r.expectedRanks {
+		if err := r.stopSignal.Wait(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ackStopped is called by a Lib after its final checkpoint.
+func (r *RSS) ackStopped() {
+	r.stoppedRanks++
+	if r.stoppedRanks >= r.expectedRanks {
+		r.stopSignal.Broadcast()
+	}
+}
+
+// register records a stored checkpoint.
+func (r *RSS) register(c Ckpt) { r.ckpts[c.Key] = c }
+
+// Checkpoints returns all registered checkpoints sorted by key.
+func (r *RSS) Checkpoints() []Ckpt {
+	out := make([]Ckpt, 0, len(r.ckpts))
+	for _, c := range r.ckpts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TotalCheckpointBytes returns the volume of all registered checkpoints.
+func (r *RSS) TotalCheckpointBytes() float64 {
+	sum := 0.0
+	for _, c := range r.ckpts {
+		sum += c.Bytes
+	}
+	return sum
+}
+
+// DropCheckpoints deletes all registered checkpoints (after a successful
+// restart has consumed them).
+func (r *RSS) DropCheckpoints() {
+	for k, c := range r.ckpts {
+		r.storage.Delete(c.Depot.Name(), k)
+		delete(r.ckpts, k)
+	}
+}
+
+// PruneExcept deletes every registered checkpoint whose key is not in keep.
+// The committing rank calls it after a complete checkpoint set is written,
+// so a restore never mixes blobs from different epochs or process counts.
+func (r *RSS) PruneExcept(keep []string) {
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	for k, c := range r.ckpts {
+		if !keepSet[k] {
+			r.storage.Delete(c.Depot.Name(), k)
+			delete(r.ckpts, k)
+		}
+	}
+}
+
+// Lib is the per-process SRS handle the application calls.
+type Lib struct {
+	rss *RSS
+	ctx *mpi.Ctx
+
+	writeTime float64
+	readTime  float64
+}
+
+// Attach binds the calling application process to the RSS daemon,
+// performing SRS initialization.
+func Attach(rss *RSS, ctx *mpi.Ctx) *Lib { return &Lib{rss: rss, ctx: ctx} }
+
+// NeedStop reports whether the process should checkpoint and terminate
+// (the srs_check call of the paper).
+func (l *Lib) NeedStop() bool { return l.rss.StopRequested() }
+
+// CheckpointWriteTime returns the virtual time this process has spent
+// writing checkpoints.
+func (l *Lib) CheckpointWriteTime() float64 { return l.writeTime }
+
+// CheckpointReadTime returns the virtual time spent reading checkpoints.
+func (l *Lib) CheckpointReadTime() float64 { return l.readTime }
+
+// StoreCheckpoint writes bytes of user data under key to the IBP depot on
+// the process's own node ("checkpoints are written to IBP storage on local
+// disks") and registers it with the RSS.
+func (l *Lib) StoreCheckpoint(key string, bytes float64) error {
+	node := l.ctx.Node()
+	start := l.ctx.Now()
+	err := l.rss.storage.Store(l.ctx.Proc(), node, node, key, bytes)
+	l.writeTime += l.ctx.Now() - start
+	if err != nil {
+		return err
+	}
+	l.rss.register(Ckpt{Key: key, Depot: node, Bytes: bytes})
+	return nil
+}
+
+// AckStopped tells the RSS this process has finished its final checkpoint
+// and is terminating.
+func (l *Lib) AckStopped() { l.rss.ackStopped() }
+
+// RestoreShare reads this process's share of the previous execution's
+// checkpoint data onto its current node: 1/nProcs of every registered blob,
+// pulled from the depot where it was written. This models the block-cyclic
+// N-to-M redistribution (every new process touches every old depot, and
+// data written at the old site crosses the network to the new one).
+// It returns the bytes read.
+func (l *Lib) RestoreShare(myRank, nProcs int) (float64, error) {
+	if nProcs <= 0 {
+		return 0, fmt.Errorf("srs: bad process count %d", nProcs)
+	}
+	start := l.ctx.Now()
+	defer func() { l.readTime += l.ctx.Now() - start }()
+	total := 0.0
+	for _, c := range l.rss.Checkpoints() {
+		share := c.Bytes / float64(nProcs)
+		n, err := l.rss.storage.RetrievePartial(l.ctx.Proc(), c.Depot, l.ctx.Node(), c.Key, share)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,95 @@
+package swap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"grads/internal/mpi"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// Property: the active/inactive partition is preserved under any sequence
+// of swaps — the active set always has exactly nActive distinct members,
+// every rank is either active or inactive, and the application completes
+// every iteration.
+func TestQuickSwapPartitionInvariant(t *testing.T) {
+	f := func(seed int64, swapsRaw [4]uint8) bool {
+		sim := simcore.New(7)
+		g := topology.MicroGridTestbed(sim)
+		var nodes []*topology.Node
+		nodes = append(nodes, g.Site("UTK").Nodes()...)
+		nodes = append(nodes, g.Site("UIUC").Nodes()...)
+		w := mpi.NewWorld(sim, g, "prop", nodes)
+		const nActive = 3
+		rt := NewRuntime(w, nActive, 1e5)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Schedule a few random (possibly rejected) swap requests.
+		for i, raw := range swapsRaw {
+			at := float64(i+1) * (2 + rng.Float64()*5)
+			vrank := int(raw) % nActive
+			sim.At(at, func() {
+				inact := rt.InactivePhys()
+				if len(inact) == 0 {
+					return
+				}
+				_ = rt.RequestSwap(vrank, inact[int(raw)%len(inact)])
+			})
+		}
+
+		const iters = 25
+		rt.Run(sim, func(ctx *mpi.Ctx, comm *mpi.Comm, vrank, iter int) error {
+			if err := ctx.Compute(2e8); err != nil {
+				return err
+			}
+			_, err := comm.Allreduce(ctx, 512, nil, nil)
+			return err
+		}, iters)
+		sim.Run()
+
+		if w.Err() != nil || w.Running() != 0 {
+			return false
+		}
+		// Partition invariant.
+		active := rt.ActivePhys()
+		if len(active) != nActive {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, p := range active {
+			if p < 0 || p >= w.Size() || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for _, p := range rt.InactivePhys() {
+			if seen[p] {
+				return false // both active and inactive
+			}
+			seen[p] = true
+		}
+		if len(seen) != w.Size() {
+			return false
+		}
+		// Progress invariant: all iterations completed, monotonically.
+		prog := rt.Progress()
+		if len(prog) != iters {
+			return false
+		}
+		for i, m := range prog {
+			if m.Iter != i+1 {
+				return false
+			}
+			if i > 0 && m.Time < prog[i-1].Time {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(85))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"grads/internal/simcore"
+)
+
+// ParseDML builds a Grid from a textual description in a small declarative
+// language modeled after the MicroGrid's Domain Modeling Language usage in
+// the paper ("described for MicroGrid in standard DML and a simple resource
+// description for the processor nodes").
+//
+// Grammar (one declaration per line, '#' starts a comment):
+//
+//	site <name> bw=<bandwidth> lat=<latency>
+//	node <name> site=<site> [arch=ia32|ia64] [mhz=<f>] [fpc=<f>] [mem=<MB>]
+//	             [l1=<KB>] [l2=<KB>] [line=<bytes>]
+//	cluster <prefix> count=<n> site=<site> [node attrs...]
+//	wan <siteA> <siteB> bw=<bandwidth> lat=<latency>
+//
+// Bandwidths accept the suffixes KB, MB, GB (bytes/s, SI) and Kb, Mb, Gb
+// (bits/s); latencies accept us, ms, s. Bare numbers are bytes/s and
+// seconds.
+func ParseDML(sim *simcore.Sim, text string) (*Grid, error) {
+	g := NewGrid(sim)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := parseDecl(g, fields); err != nil {
+			return nil, fmt.Errorf("dml: line %d: %w", lineNo, err)
+		}
+	}
+	return g, nil
+}
+
+func parseDecl(g *Grid, fields []string) error {
+	switch fields[0] {
+	case "site":
+		if len(fields) < 2 {
+			return fmt.Errorf("site needs a name")
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return err
+		}
+		bw, err := requireBandwidth(attrs, "bw")
+		if err != nil {
+			return err
+		}
+		lat, err := requireLatency(attrs, "lat")
+		if err != nil {
+			return err
+		}
+		g.AddSite(fields[1], bw, lat)
+		return nil
+
+	case "node":
+		if len(fields) < 2 {
+			return fmt.Errorf("node needs a name")
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return err
+		}
+		sp, err := nodeSpecFromAttrs(fields[1], attrs)
+		if err != nil {
+			return err
+		}
+		g.AddNode(sp)
+		return nil
+
+	case "cluster":
+		if len(fields) < 2 {
+			return fmt.Errorf("cluster needs a name prefix")
+		}
+		attrs, err := parseAttrs(fields[2:])
+		if err != nil {
+			return err
+		}
+		countStr, ok := attrs["count"]
+		if !ok {
+			return fmt.Errorf("cluster needs count=")
+		}
+		count, err := strconv.Atoi(countStr)
+		if err != nil || count <= 0 {
+			return fmt.Errorf("bad cluster count %q", countStr)
+		}
+		delete(attrs, "count")
+		for i := 1; i <= count; i++ {
+			sp, err := nodeSpecFromAttrs(fmt.Sprintf("%s%d", fields[1], i), attrs)
+			if err != nil {
+				return err
+			}
+			g.AddNode(sp)
+		}
+		return nil
+
+	case "wan":
+		if len(fields) < 3 {
+			return fmt.Errorf("wan needs two site names")
+		}
+		attrs, err := parseAttrs(fields[3:])
+		if err != nil {
+			return err
+		}
+		bw, err := requireBandwidth(attrs, "bw")
+		if err != nil {
+			return err
+		}
+		lat, err := requireLatency(attrs, "lat")
+		if err != nil {
+			return err
+		}
+		g.Connect(fields[1], fields[2], bw, lat)
+		return nil
+	}
+	return fmt.Errorf("unknown declaration %q", fields[0])
+}
+
+func nodeSpecFromAttrs(name string, attrs map[string]string) (NodeSpec, error) {
+	sp := NodeSpec{
+		Name:          name,
+		Arch:          ArchIA32,
+		MHz:           500,
+		FlopsPerCycle: 0.5,
+		MemMB:         512,
+		Cache:         CacheConfig{L1KB: 16, L2KB: 512, LineBytes: 32},
+	}
+	for k, v := range attrs {
+		var err error
+		switch k {
+		case "site":
+			sp.Site = v
+		case "arch":
+			sp.Arch = Arch(v)
+		case "mhz":
+			sp.MHz, err = strconv.ParseFloat(v, 64)
+		case "fpc":
+			sp.FlopsPerCycle, err = strconv.ParseFloat(v, 64)
+		case "mem":
+			sp.MemMB, err = strconv.ParseFloat(v, 64)
+		case "l1":
+			sp.Cache.L1KB, err = strconv.Atoi(v)
+		case "l2":
+			sp.Cache.L2KB, err = strconv.Atoi(v)
+		case "line":
+			sp.Cache.LineBytes, err = strconv.Atoi(v)
+		default:
+			return sp, fmt.Errorf("unknown node attribute %q", k)
+		}
+		if err != nil {
+			return sp, fmt.Errorf("bad value %q for %s: %v", v, k, err)
+		}
+	}
+	if sp.Site == "" {
+		return sp, fmt.Errorf("node %q needs site=", name)
+	}
+	return sp, nil
+}
+
+func parseAttrs(fields []string) (map[string]string, error) {
+	attrs := make(map[string]string, len(fields))
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("expected key=value, got %q", f)
+		}
+		attrs[k] = v
+	}
+	return attrs, nil
+}
+
+func requireBandwidth(attrs map[string]string, key string) (float64, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	return ParseBandwidth(v)
+}
+
+func requireLatency(attrs map[string]string, key string) (float64, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s=", key)
+	}
+	return ParseLatency(v)
+}
+
+// ParseBandwidth converts "160MB", "100Mb", "1.28Gb" or a bare number into
+// bytes per second (SI prefixes; lowercase b = bits).
+func ParseBandwidth(s string) (float64, error) {
+	mult := 1.0
+	num := s
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, num = 1e9, s[:len(s)-2]
+	case strings.HasSuffix(s, "MB"):
+		mult, num = 1e6, s[:len(s)-2]
+	case strings.HasSuffix(s, "KB"):
+		mult, num = 1e3, s[:len(s)-2]
+	case strings.HasSuffix(s, "Gb"):
+		mult, num = 1e9/8, s[:len(s)-2]
+	case strings.HasSuffix(s, "Mb"):
+		mult, num = 1e6/8, s[:len(s)-2]
+	case strings.HasSuffix(s, "Kb"):
+		mult, num = 1e3/8, s[:len(s)-2]
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad bandwidth %q", s)
+	}
+	return f * mult, nil
+}
+
+// ParseLatency converts "30ms", "100us", "1.5s" or a bare number (seconds)
+// into seconds.
+func ParseLatency(s string) (float64, error) {
+	mult := 1.0
+	num := s
+	switch {
+	case strings.HasSuffix(s, "us"):
+		mult, num = 1e-6, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		mult, num = 1e-3, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		num = s[:len(s)-1]
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad latency %q", s)
+	}
+	return f * mult, nil
+}

@@ -1,0 +1,176 @@
+package vgrid
+
+import (
+	"testing"
+
+	"grads/internal/gis"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// macro builds the MacroGrid with a GIS carrying one selective package.
+func macro(t *testing.T) (*topology.Grid, *gis.Service) {
+	t.Helper()
+	sim := simcore.New(1)
+	g := topology.MacroGrid(sim)
+	gs := gis.New(sim, g)
+	gs.RegisterSoftware("ucsd1", "special", "/opt/special")
+	gs.RegisterSoftware("ucsd2", "special", "/opt/special")
+	return g, gs
+}
+
+func TestLooseBagPicksFastest(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	v, err := f.Find(Spec{Name: "bag", Kind: LooseBag, MinNodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Nodes) != 4 {
+		t.Fatalf("got %d nodes", len(v.Nodes))
+	}
+	// The 12 IA-64 nodes (1.8 Gflop/s) are the fastest on the MacroGrid.
+	for _, n := range v.Nodes {
+		if n.Spec.Arch != topology.ArchIA64 {
+			t.Fatalf("loose bag picked %s (%s), want IA-64 fastest", n.Name(), n.Spec.Arch)
+		}
+	}
+	if v.Rate != 4*1.8e9 {
+		t.Fatalf("rate = %v", v.Rate)
+	}
+}
+
+func TestLooseBagMaxNodes(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	v, err := f.Find(Spec{Name: "bag", Kind: LooseBag, MinNodes: 2, MaxNodes: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Nodes) != 20 {
+		t.Fatalf("got %d nodes, want MaxNodes=20", len(v.Nodes))
+	}
+}
+
+func TestClusterBindsSingleSite(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	v, err := f.Find(Spec{Name: "mpi", Kind: Cluster, MinNodes: 10, Arch: topology.ArchIA32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := v.Nodes[0].Site()
+	for _, n := range v.Nodes {
+		if n.Site() != site {
+			t.Fatalf("cluster spans sites %s and %s", site.Name, n.Site().Name)
+		}
+		if n.Spec.Arch != topology.ArchIA32 {
+			t.Fatalf("arch constraint violated: %s", n.Name())
+		}
+	}
+	// Best IA-32 cluster of 10: UCSD's 10x 1.36 Gflop/s Athlons.
+	if site.Name != "UCSD" {
+		t.Fatalf("picked %s, want UCSD", site.Name)
+	}
+}
+
+func TestClusterAvoidsLoadedSite(t *testing.T) {
+	g, gs := macro(t)
+	for _, n := range g.Site("UCSD").Nodes() {
+		n.CPU.SetExternalLoad(4) // UCSD now effectively 5x slower
+	}
+	f := NewFinder(g, gs, nil)
+	v, err := f.Find(Spec{Name: "mpi", Kind: Cluster, MinNodes: 10, Arch: topology.ArchIA32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Nodes[0].Site().Name == "UCSD" {
+		t.Fatal("picked the loaded site")
+	}
+}
+
+func TestTightBagRespectsLatencyBound(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	// 12 ms bound: only UTK-UIUC (11 ms) qualifies as a cross-site pair.
+	v, err := f.Find(Spec{Name: "tight", Kind: TightBag, MinNodes: 40, MaxLatency: 0.012})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := map[string]bool{}
+	for _, n := range v.Nodes {
+		sites[n.Site().Name] = true
+	}
+	for s := range sites {
+		if s != "UTK" && s != "UIUC" {
+			t.Fatalf("tight bag includes %s beyond the latency bound", s)
+		}
+	}
+	if len(v.Nodes) != 40 {
+		t.Fatalf("got %d nodes", len(v.Nodes))
+	}
+	// A 40-node single site does not exist, so the bound was necessary.
+	if !sites["UTK"] || !sites["UIUC"] {
+		t.Fatalf("expected both UTK and UIUC, got %v", sites)
+	}
+}
+
+func TestTightBagImpossibleBound(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	// 1 ms bound: no cross-site group; largest single site has 24 nodes.
+	if _, err := f.Find(Spec{Name: "x", Kind: TightBag, MinNodes: 30, MaxLatency: 0.001}); err == nil {
+		t.Fatal("impossible tight bag satisfied")
+	}
+}
+
+func TestSoftwareConstraint(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	v, err := f.Find(Spec{Name: "sw", Kind: LooseBag, MinNodes: 2, Software: []string{"special"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range v.Nodes {
+		if !gs.HasSoftware(n.Name(), "special") {
+			t.Fatalf("%s lacks the required software", n.Name())
+		}
+	}
+	if _, err := f.Find(Spec{Name: "sw", Kind: LooseBag, MinNodes: 3, Software: []string{"special"}}); err == nil {
+		t.Fatal("only 2 nodes have the software; MinNodes=3 should fail")
+	}
+}
+
+func TestDownNodesExcluded(t *testing.T) {
+	g, gs := macro(t)
+	for _, n := range g.Site("UH").Nodes() {
+		n.SetDown(true)
+	}
+	f := NewFinder(g, gs, nil)
+	v, err := f.Find(Spec{Name: "bag", Kind: LooseBag, MinNodes: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range v.Nodes {
+		if n.Site().Name == "UH" {
+			t.Fatal("selected a failed node")
+		}
+	}
+	if _, err := f.Find(Spec{Name: "ia64", Kind: LooseBag, MinNodes: 1, Arch: topology.ArchIA64}); err == nil {
+		t.Fatal("all IA-64 nodes are down; request should fail")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	g, gs := macro(t)
+	f := NewFinder(g, gs, nil)
+	if _, err := f.Find(Spec{Name: "zero", Kind: LooseBag}); err == nil {
+		t.Fatal("MinNodes=0 accepted")
+	}
+	if _, err := f.Find(Spec{Name: "huge", Kind: Cluster, MinNodes: 1000}); err == nil {
+		t.Fatal("oversized request accepted")
+	}
+	if LooseBag.String() != "LooseBag" || Cluster.String() != "Cluster" || TightBag.String() != "TightBag" {
+		t.Fatal("Kind.String wrong")
+	}
+}
