@@ -25,6 +25,7 @@ import (
 	"grads/internal/rescheduler"
 	"grads/internal/simcore"
 	"grads/internal/swap"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 	"grads/internal/vgrid"
 )
@@ -134,6 +135,22 @@ func BenchmarkOpportunistic(b *testing.B) {
 
 func BenchmarkSimcoreEventThroughput(b *testing.B) {
 	sim := simcore.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Schedule(float64(i%1000), func() {})
+		if i%1024 == 1023 {
+			sim.Run()
+		}
+	}
+	sim.Run()
+}
+
+// BenchmarkSimcoreEventThroughputTraced is the same loop with a telemetry
+// hub attached (no sinks), measuring the enabled-path cost of the kernel
+// counters relative to the nil-guard fast path above.
+func BenchmarkSimcoreEventThroughputTraced(b *testing.B) {
+	sim := simcore.New(1)
+	sim.SetTelemetry(telemetry.New())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Schedule(float64(i%1000), func() {})

@@ -12,6 +12,14 @@
 //	gradsim -exp swap-policies   # §4.2 swapping-policy ablation
 //	gradsim -exp opportunistic   # §4.1.1 opportunistic rescheduling
 //	gradsim -exp all             # everything
+//
+// Observability (see the README "Observability" section):
+//
+//	gradsim -exp fig4 -trace out.json        # Chrome trace_event JSON for
+//	                                         # chrome://tracing / Perfetto
+//	gradsim -exp fig4 -trace-jsonl out.jsonl # typed-event JSONL stream
+//	                                         # (byte-identical across runs)
+//	gradsim -exp fig4 -metrics               # metric summary after the run
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"grads"
+	"grads/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +37,9 @@ func main() {
 		strings.Join(grads.Experiments(), ", ")+")")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV instead of a formatted table (tabular experiments only)")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
+	jsonlOut := flag.String("trace-jsonl", "", "stream typed telemetry events to this file as JSON lines")
+	metrics := flag.Bool("metrics", false, "print the telemetry metric summary after the run")
 	flag.Parse()
 
 	if *list {
@@ -35,6 +47,28 @@ func main() {
 			fmt.Println(name)
 		}
 		return
+	}
+
+	var tel *telemetry.Telemetry
+	if *traceOut != "" || *jsonlOut != "" || *metrics {
+		tel = telemetry.New()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gradsim:", err)
+				os.Exit(1)
+			}
+			tel.AddSink(telemetry.NewChromeSink(f))
+		}
+		if *jsonlOut != "" {
+			f, err := os.Create(*jsonlOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gradsim:", err)
+				os.Exit(1)
+			}
+			tel.AddSink(telemetry.NewJSONL(f))
+		}
+		grads.SetTelemetry(tel)
 	}
 
 	var out string
@@ -52,4 +86,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(out)
+
+	if tel != nil {
+		if cerr := tel.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "gradsim:", cerr)
+			os.Exit(1)
+		}
+		if *metrics {
+			fmt.Println("\n==== telemetry summary ====")
+			fmt.Println()
+			fmt.Print(tel.Summary())
+		}
+	}
 }

@@ -1,0 +1,37 @@
+package grads
+
+import (
+	"bytes"
+	"testing"
+
+	"grads/internal/telemetry"
+)
+
+// TestDeterminism runs the same seeded experiment twice with a JSONL sink
+// attached and requires the two telemetry streams to be byte-identical —
+// the property the CI determinism job checks end-to-end through the
+// gradsim binary.
+func TestDeterminism(t *testing.T) {
+	run := func() []byte {
+		var out bytes.Buffer
+		tel := telemetry.New()
+		tel.AddSink(telemetry.NewJSONL(&out))
+		SetTelemetry(tel)
+		defer SetTelemetry(nil)
+		if _, err := RunExperiment("fig4"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	a := run()
+	b := run()
+	if len(a) == 0 {
+		t.Fatal("experiment emitted no telemetry")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("seeded runs diverged: %d vs %d bytes", len(a), len(b))
+	}
+}

@@ -24,10 +24,19 @@ import (
 
 	"grads/internal/apps"
 	"grads/internal/experiments"
+	"grads/internal/telemetry"
 )
 
 // Version identifies the reproduction release.
 const Version = "1.0.0"
+
+// SetTelemetry installs an observability hub that every experiment run
+// after this call publishes into: kernel, CPU-model, network-model,
+// scheduler, rescheduler, contract-monitor, checkpoint and swap events,
+// plus per-component metrics. Pass nil to disable (the default). The same
+// seeded experiment emits a byte-identical JSONL stream on every run; see
+// TestDeterminism.
+func SetTelemetry(tel *telemetry.Telemetry) { experiments.SetTelemetry(tel) }
 
 // Experiments enumerates the runnable experiment names, each regenerating
 // one table or figure of the paper (see DESIGN.md §3 for the mapping).

@@ -17,6 +17,7 @@ import (
 	"grads/internal/nws"
 	"grads/internal/simcore"
 	"grads/internal/srs"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
@@ -120,6 +121,14 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 		rep.Runs = run
 		record := func(name string, d float64) {
 			rep.Phases = append(rep.Phases, PhaseRecord{Run: run, Name: name, Duration: d})
+			if tel := m.Sim.Telemetry(); tel != nil {
+				tel.Histogram("appmgr", "phase_seconds").Observe(d)
+				tel.Emit(telemetry.Event{
+					Type: telemetry.EvAppPhase, Comp: "appmgr:" + app.Name(), Name: name,
+					Dur:  d,
+					Args: []telemetry.Arg{telemetry.I("run", run)},
+				})
+			}
 		}
 
 		// Resource selection: the mapper picks nodes from the pool.
@@ -183,6 +192,7 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 			if m.RSS != nil {
 				m.RSS.ClearStop()
 			}
+			m.emitRestart(app.Name(), run, "node-failure")
 			continue
 		}
 		if rr.CkptRead > 0 {
@@ -201,5 +211,20 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 		if m.RSS != nil {
 			m.RSS.ClearStop()
 		}
+		m.emitRestart(app.Name(), run, "srs-stop")
 	}
+}
+
+// emitRestart publishes an application restart event (migration restart or
+// failure recovery) into telemetry.
+func (m *Manager) emitRestart(app string, run int, reason string) {
+	tel := m.Sim.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Counter("appmgr", "restarts").Inc()
+	tel.Emit(telemetry.Event{
+		Type: telemetry.EvAppRestart, Comp: "appmgr:" + app, Name: reason,
+		Args: []telemetry.Arg{telemetry.I("run", run)},
+	})
 }

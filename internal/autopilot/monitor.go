@@ -2,6 +2,7 @@ package autopilot
 
 import (
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 )
 
 // Sensor supplies one measured value per sampling period. ok=false means no
@@ -153,6 +154,18 @@ func (m *Monitor) tick() {
 		Severity: severity,
 	}
 	defer func() { m.recordTick(rec) }()
+	if tel := m.sim.Telemetry(); tel != nil {
+		tel.Histogram("autopilot", "contract_ratio").Observe(ratio)
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvContractTick, Comp: "autopilot", Name: m.contract.Name,
+			Args: []telemetry.Arg{
+				telemetry.F("ratio", ratio),
+				telemetry.F("lower", m.contract.LowerLimit),
+				telemetry.F("upper", m.contract.UpperLimit),
+				telemetry.F("severity", severity),
+			},
+		})
+	}
 
 	switch {
 	case ratio > m.contract.UpperLimit:
@@ -167,6 +180,17 @@ func (m *Monitor) tick() {
 				Ratio:    ratio,
 				AvgRatio: avg,
 				Severity: severity,
+			}
+			if tel := m.sim.Telemetry(); tel != nil {
+				tel.Counter("autopilot", "violations").Inc()
+				tel.Emit(telemetry.Event{
+					Type: telemetry.EvContractViolation, Comp: "autopilot", Name: m.contract.Name,
+					Args: []telemetry.Arg{
+						telemetry.F("ratio", ratio),
+						telemetry.F("avg_ratio", avg),
+						telemetry.F("severity", severity),
+					},
+				})
 			}
 			switch {
 			case m.OnViolation != nil:

@@ -21,7 +21,10 @@ type TickRecord struct {
 // Trace returns the recorded verification steps.
 func (m *Monitor) Trace() []TickRecord { return append([]TickRecord(nil), m.trace...) }
 
-// recordTick appends to the viewer trace.
+// recordTick appends to the viewer trace. This slice only feeds the ASCII
+// renderer below; the canonical observation stream is the telemetry hub the
+// monitor publishes contract.tick / contract.violation events into (see
+// Monitor.tick).
 func (m *Monitor) recordTick(r TickRecord) { m.trace = append(m.trace, r) }
 
 // FormatTrace renders a contract-validation timeline: one row per

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"grads/internal/nws"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
@@ -130,6 +131,33 @@ func (s *Scheduler) Matrix(w *Workflow, ready []int, resources []*topology.Node,
 	return m
 }
 
+// tel returns the telemetry hub of the grid's simulation, or nil.
+func (s *Scheduler) tel() *telemetry.Telemetry {
+	if s.Grid == nil || s.Grid.Sim == nil {
+		return nil
+	}
+	return s.Grid.Sim.Telemetry()
+}
+
+// emitDecision publishes one schedule decision into telemetry.
+func (s *Scheduler) emitDecision(sched *Schedule, w *Workflow, resources int, chosen bool) {
+	tel := s.tel()
+	if tel == nil {
+		return
+	}
+	tel.Counter("core", "schedules").Inc()
+	tel.Histogram("core", "makespan_seconds").Observe(sched.Makespan)
+	tel.Emit(telemetry.Event{
+		Type: telemetry.EvSchedDecision, Comp: "core", Name: sched.Heuristic,
+		Args: []telemetry.Arg{
+			telemetry.I("components", w.Len()),
+			telemetry.I("resources", resources),
+			telemetry.F("makespan", sched.Makespan),
+			telemetry.B("chosen", chosen),
+		},
+	})
+}
+
 // Schedule maps the workflow with all three heuristics and returns the
 // schedule with the minimum makespan (§3.1).
 func (s *Scheduler) Schedule(w *Workflow, resources []*topology.Node) (*Schedule, error) {
@@ -143,6 +171,7 @@ func (s *Scheduler) Schedule(w *Workflow, resources []*topology.Node) (*Schedule
 			best = sched
 		}
 	}
+	s.emitDecision(best, w, len(resources), true)
 	return best, nil
 }
 
@@ -229,7 +258,9 @@ func (s *Scheduler) ScheduleWith(heuristic string, w *Workflow, resources []*top
 			makespan = a.Finish
 		}
 	}
-	return &Schedule{Heuristic: heuristic, Makespan: makespan, Assignments: assigned}, nil
+	sched := &Schedule{Heuristic: heuristic, Makespan: makespan, Assignments: assigned}
+	s.emitDecision(sched, w, len(resources), false)
+	return sched, nil
 }
 
 // choice is one ready component's best placement in the current round.

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 )
 
 // CPU is a processor-sharing server. Create one with New.
@@ -65,6 +66,26 @@ func (c *CPU) SetExternalLoad(n float64) {
 	c.advance()
 	c.extLoad = n
 	c.reschedule()
+	c.emitShare("external-load")
+}
+
+// emitShare publishes a CPU-share-change trace event: the per-task rate now
+// in force, the task count and the external load.
+func (c *CPU) emitShare(reason string) {
+	tel := c.sim.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Counter("cpusim", "share_changes").Inc()
+	tel.Emit(telemetry.Event{
+		Type: telemetry.EvCPUShare, Comp: "cpu:" + c.name,
+		Args: []telemetry.Arg{
+			telemetry.S("reason", reason),
+			telemetry.I("tasks", len(c.tasks)),
+			telemetry.F("ext_load", c.extLoad),
+			telemetry.F("rate_ops_s", c.rate()),
+		},
+	})
 }
 
 // Running returns the number of simulated tasks currently computing.
@@ -167,6 +188,18 @@ func (c *CPU) onCompletion() {
 	}
 	c.setTasks(rest)
 	c.reschedule()
+	if len(finished) > 0 {
+		c.emitShare("completion")
+	}
+	if tel := c.sim.Telemetry(); tel != nil {
+		tel.Counter("cpusim", "tasks_completed").Add(uint64(len(finished)))
+		for _, t := range finished {
+			tel.Emit(telemetry.Event{
+				Type: telemetry.EvTaskDone, Comp: "cpu:" + c.name, Name: t.proc.Name(),
+				Args: []telemetry.Arg{telemetry.F("ops", t.total)},
+			})
+		}
+	}
 	for _, t := range finished {
 		t.removed = true
 		t.proc.Resume(nil)
@@ -218,9 +251,21 @@ func (c *CPU) Compute(p *simcore.Proc, ops float64) (completed float64, err erro
 	t := &task{seq: c.nextSeq, remaining: ops, total: ops, proc: p}
 	c.setTasks(append(c.tasks, t))
 	c.reschedule()
+	start := c.sim.Now()
+	if tel := c.sim.Telemetry(); tel != nil {
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvTaskStart, Comp: "cpu:" + c.name, Name: p.Name(),
+			Args: []telemetry.Arg{telemetry.F("ops", ops)},
+		})
+	}
+	c.emitShare("task-start")
 	if err = p.ParkWith(nil); err != nil {
 		c.removeTask(t)
+		c.emitShare("task-interrupted")
 		return t.total - t.remaining, err
+	}
+	if tel := c.sim.Telemetry(); tel != nil {
+		tel.Histogram("cpusim", "task_seconds").Observe(c.sim.Now() - start)
 	}
 	return t.total, nil
 }

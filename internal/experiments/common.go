@@ -16,8 +16,21 @@ import (
 	"grads/internal/nws"
 	"grads/internal/simcore"
 	"grads/internal/srs"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
+
+// sharedTel, when set, is attached to every simulation NewEnv creates, so a
+// single CLI invocation collects one telemetry stream across all the
+// experiments it runs.
+var sharedTel *telemetry.Telemetry
+
+// SetTelemetry installs (or, with nil, removes) the hub every subsequently
+// created experiment environment publishes into.
+func SetTelemetry(t *telemetry.Telemetry) { sharedTel = t }
+
+// Telemetry returns the installed shared hub, or nil.
+func Telemetry() *telemetry.Telemetry { return sharedTel }
 
 // Env bundles one fully wired GrADS execution environment on a fresh
 // deterministic simulation.
@@ -39,6 +52,9 @@ type GridBuilder func(*simcore.Sim) *topology.Grid
 // given testbed. Seed fixes all randomness.
 func NewEnv(seed int64, build GridBuilder, appName string, nwsPeriod float64) *Env {
 	sim := simcore.New(seed)
+	if sharedTel != nil {
+		sim.SetTelemetry(sharedTel)
+	}
 	grid := build(sim)
 	g := gis.New(sim, grid)
 	g.RegisterSoftwareEverywhere(binder.LocalBinderPkg, "/opt/grads/binder")

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 )
 
 // Link is a network link with fixed capacity and latency plus adjustable
@@ -68,6 +69,7 @@ type flow struct {
 	remaining float64
 	total     float64
 	rate      float64
+	start     float64
 	proc      *simcore.Proc
 }
 
@@ -103,6 +105,38 @@ func (n *Network) SetBackground(l *Link, bytesPerSec float64) {
 	l.background = bytesPerSec
 	n.reallocate()
 	n.reschedule()
+	n.emitRealloc("background:" + l.name)
+}
+
+// emitRealloc publishes a max-min reallocation trace event. It is called
+// only at real allocation-changing points, never from EstimateRate probes.
+func (n *Network) emitRealloc(reason string) {
+	tel := n.sim.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Counter("netsim", "reallocs").Inc()
+	minRate, maxRate := math.Inf(1), 0.0
+	for _, f := range n.flows {
+		if f.rate < minRate {
+			minRate = f.rate
+		}
+		if f.rate > maxRate {
+			maxRate = f.rate
+		}
+	}
+	if len(n.flows) == 0 {
+		minRate = 0
+	}
+	tel.Emit(telemetry.Event{
+		Type: telemetry.EvNetRealloc, Comp: "netsim",
+		Args: []telemetry.Arg{
+			telemetry.S("reason", reason),
+			telemetry.I("flows", len(n.flows)),
+			telemetry.F("min_rate", minRate),
+			telemetry.F("max_rate", maxRate),
+		},
+	})
 }
 
 // ActiveFlows returns the number of in-progress transfers.
@@ -158,12 +192,24 @@ func (n *Network) Transfer(p *simcore.Proc, route []*Link, bytes float64) (moved
 	}
 	n.advance()
 	n.nextSeq++
-	f := &flow{seq: n.nextSeq, route: route, remaining: bytes, total: bytes, proc: p}
+	f := &flow{seq: n.nextSeq, route: route, remaining: bytes, total: bytes, start: n.sim.Now(), proc: p}
 	n.flows = append(n.flows, f)
 	n.reallocate()
 	n.reschedule()
+	if tel := n.sim.Telemetry(); tel != nil {
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvFlowStart, Comp: "netsim", Name: p.Name(),
+			Args: []telemetry.Arg{
+				telemetry.F("bytes", bytes),
+				telemetry.I("hops", len(route)),
+				telemetry.F("rate", f.rate),
+			},
+		})
+	}
+	n.emitRealloc("flow-start")
 	if err := p.ParkWith(nil); err != nil {
 		n.removeFlow(f)
+		n.emitRealloc("flow-interrupted")
 		return f.total - f.remaining, err
 	}
 	return f.total, nil
@@ -302,6 +348,21 @@ func (n *Network) onCompletion() {
 	n.flows = rest
 	n.reallocate()
 	n.reschedule()
+	if len(finished) > 0 {
+		n.emitRealloc("flow-end")
+	}
+	if tel := n.sim.Telemetry(); tel != nil {
+		tel.Counter("netsim", "flows_completed").Add(uint64(len(finished)))
+		for _, f := range finished {
+			tel.Histogram("netsim", "flow_seconds").Observe(now - f.start)
+			tel.Histogram("netsim", "flow_bytes").Observe(f.total)
+			tel.Emit(telemetry.Event{
+				Type: telemetry.EvFlowEnd, Comp: "netsim", Name: f.proc.Name(),
+				Dur:  now - f.start,
+				Args: []telemetry.Arg{telemetry.F("bytes", f.total)},
+			})
+		}
+	}
 	for _, f := range finished {
 		n.bytesMoved += f.total
 		f.proc.Resume(nil)

@@ -19,6 +19,7 @@ import (
 
 	"grads/internal/nws"
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
@@ -145,6 +146,7 @@ func (r *Rescheduler) Evaluate(app Estimator, current []*topology.Node, candidat
 	}
 	if d.Target == nil {
 		d.Reason = "no alternative resources"
+		r.emitDecision(d)
 		return d
 	}
 	d.MigrationCost = r.EstimateMigrationCost(app, current, d.Target)
@@ -164,7 +166,34 @@ func (r *Rescheduler) Evaluate(app Estimator, current []*topology.Node, candidat
 			d.Reason = fmt.Sprintf("predicted benefit %.0fs below threshold", benefit)
 		}
 	}
+	r.emitDecision(d)
 	return d
+}
+
+// emitDecision publishes a migration decision into the grid simulation's
+// telemetry, if attached.
+func (r *Rescheduler) emitDecision(d Decision) {
+	if r.Grid == nil || r.Grid.Sim == nil {
+		return
+	}
+	tel := r.Grid.Sim.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Counter("rescheduler", "evaluations").Inc()
+	if d.Migrate {
+		tel.Counter("rescheduler", "migrate_decisions").Inc()
+	}
+	tel.Emit(telemetry.Event{
+		Type: telemetry.EvReschedDecision, Comp: "rescheduler",
+		Args: []telemetry.Arg{
+			telemetry.B("migrate", d.Migrate),
+			telemetry.F("current_remaining", d.CurrentRemaining),
+			telemetry.F("target_remaining", d.TargetRemaining),
+			telemetry.F("migration_cost", d.MigrationCost),
+			telemetry.S("reason", d.Reason),
+		},
+	})
 }
 
 // sameNodes reports whether two node sets are identical as sets.
@@ -254,6 +283,7 @@ func (d *Daemon) FreePool() []*topology.Node { return d.pool }
 // the freed nodes back into the pool.
 func (d *Daemon) RequestMigration(name string) Decision {
 	d.requests++
+	d.sim.Telemetry().Counter("rescheduler", "requests").Inc()
 	app, ok := d.apps[name]
 	if !ok {
 		return Decision{Reason: "unknown application"}
@@ -280,6 +310,7 @@ func (d *Daemon) AppCompleted(name string) {
 	sort.Strings(names)
 	for _, n := range names {
 		d.opportunistic++
+		d.sim.Telemetry().Counter("rescheduler", "opportunistic").Inc()
 		d.evaluate(d.apps[n])
 	}
 }
@@ -297,6 +328,7 @@ func (d *Daemon) evaluate(app *ManagedApp) Decision {
 		return dec
 	}
 	d.migrations++
+	d.sim.Telemetry().Counter("rescheduler", "migrations").Inc()
 	// Freed nodes return to the pool; target nodes leave it.
 	d.pool = append(d.pool, app.Current...)
 	inTarget := make(map[*topology.Node]bool, len(dec.Target))

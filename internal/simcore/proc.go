@@ -3,6 +3,8 @@ package simcore
 import (
 	"errors"
 	"fmt"
+
+	"grads/internal/telemetry"
 )
 
 // ErrInterrupted is returned from a blocking operation when another process
@@ -54,6 +56,13 @@ func (s *Sim) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
 		alive:  true,
 	}
 	s.liveProcs[p.id] = p
+	s.cSpawns.Add(1)
+	if s.tel != nil {
+		s.tel.Emit(telemetry.Event{
+			Type: telemetry.EvProcSpawn, Comp: "simcore", Name: name,
+			Args: []telemetry.Arg{telemetry.I("id", p.id), telemetry.F("start_t", t)},
+		})
+	}
 	go func() {
 		// Wait for the start event before running the body.
 		if err := <-p.resume; err == nil {
@@ -71,6 +80,12 @@ func (s *Sim) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
 		p.alive = false
 		p.dead = true
 		delete(s.liveProcs, p.id)
+		if s.tel != nil {
+			s.tel.Emit(telemetry.Event{
+				Type: telemetry.EvProcExit, Comp: "simcore", Name: p.name,
+				Args: []telemetry.Arg{telemetry.I("id", p.id)},
+			})
+		}
 		p.parked <- struct{}{} // final handoff back to the kernel
 	}()
 	s.At(t, func() { p.run(nil) })
@@ -83,6 +98,13 @@ func (p *Proc) run(cause error) {
 	if p.dead {
 		return
 	}
+	p.sim.cSwitches.Add(1)
+	if p.sim.tel != nil {
+		p.sim.tel.Emit(telemetry.Event{
+			Type: telemetry.EvProcResume, Comp: "simcore", Name: p.name,
+			Args: []telemetry.Arg{telemetry.I("id", p.id), telemetry.B("interrupted", cause != nil)},
+		})
+	}
 	p.resume <- cause
 	<-p.parked
 }
@@ -92,6 +114,12 @@ func (p *Proc) run(cause error) {
 // p.unblock to a function that revokes that arrangement. park returns the
 // interrupt cause, or nil for a normal wakeup.
 func (p *Proc) park() error {
+	if p.sim.tel != nil {
+		p.sim.tel.Emit(telemetry.Event{
+			Type: telemetry.EvProcPark, Comp: "simcore", Name: p.name,
+			Args: []telemetry.Arg{telemetry.I("id", p.id)},
+		})
+	}
 	p.parked <- struct{}{}
 	err := <-p.resume
 	p.unblock = nil

@@ -17,6 +17,7 @@ import (
 	"grads/internal/ibp"
 	"grads/internal/mpi"
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
@@ -186,6 +187,15 @@ func (l *Lib) StoreCheckpoint(key string, bytes float64) error {
 		return err
 	}
 	l.rss.register(Ckpt{Key: key, Depot: node, Bytes: bytes})
+	if tel := l.rss.sim.Telemetry(); tel != nil {
+		tel.Counter("srs", "ckpt_writes").Inc()
+		tel.Histogram("srs", "ckpt_write_seconds").Observe(l.ctx.Now() - start)
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvCkptWrite, Comp: "srs:" + l.rss.app, Name: key,
+			Dur:  l.ctx.Now() - start,
+			Args: []telemetry.Arg{telemetry.F("bytes", bytes), telemetry.S("depot", node.Name())},
+		})
+	}
 	return nil
 }
 
@@ -213,6 +223,15 @@ func (l *Lib) RestoreShare(myRank, nProcs int) (float64, error) {
 			return total, err
 		}
 		total += n
+	}
+	if tel := l.rss.sim.Telemetry(); tel != nil {
+		tel.Counter("srs", "ckpt_reads").Inc()
+		tel.Histogram("srs", "ckpt_read_seconds").Observe(l.ctx.Now() - start)
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvCkptRead, Comp: "srs:" + l.rss.app,
+			Dur:  l.ctx.Now() - start,
+			Args: []telemetry.Arg{telemetry.F("bytes", total), telemetry.I("rank", myRank), telemetry.I("nprocs", nProcs)},
+		})
 	}
 	return total, nil
 }

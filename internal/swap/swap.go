@@ -14,6 +14,7 @@ import (
 
 	"grads/internal/mpi"
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 )
 
 // Order requests that virtual rank VRank move to physical process ToPhys.
@@ -139,6 +140,15 @@ func (rt *Runtime) RequestSwap(vrank, toPhys int) error {
 		}
 	}
 	rt.pending = append(rt.pending, Order{VRank: vrank, ToPhys: toPhys})
+	if rt.sim != nil {
+		if tel := rt.sim.Telemetry(); tel != nil {
+			tel.Counter("swap", "orders").Inc()
+			tel.Emit(telemetry.Event{
+				Type: telemetry.EvSwapOrder, Comp: "swap",
+				Args: []telemetry.Arg{telemetry.I("vrank", vrank), telemetry.I("to_phys", toPhys)},
+			})
+		}
+	}
 	return nil
 }
 
@@ -259,6 +269,18 @@ func (rt *Runtime) boundary(ctx *mpi.Ctx, vrank, nextIter int) (deactivated bool
 	rt.mailbox[mine.ToPhys].TryPut(activation{vrank: vrank, nextIter: nextIter})
 	rt.swaps++
 	rt.swapTimes = append(rt.swapTimes, ctx.Now())
+	if tel := rt.sim.Telemetry(); tel != nil {
+		tel.Counter("swap", "swaps").Inc()
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvSwapDone, Comp: "swap",
+			Args: []telemetry.Arg{
+				telemetry.I("vrank", vrank),
+				telemetry.I("from_phys", from),
+				telemetry.I("to_phys", mine.ToPhys),
+				telemetry.F("state_bytes", rt.stateBytes),
+			},
+		})
+	}
 	rt.inFlight--
 	if rt.inFlight == 0 {
 		rt.swapDone.Broadcast()

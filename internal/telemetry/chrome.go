@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// chromeEvent is one record of the Chrome trace_event format, the subset
+// understood by chrome://tracing and Perfetto. Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders events (as retained by a Buffer) as Chrome
+// trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+// Virtual seconds become trace microseconds. Each distinct component gets
+// its own named thread row, in first-appearance order; events with Dur > 0
+// become complete ("X") slices ending at their timestamp, all others become
+// instant ("i") events. The output is deterministic for a deterministic
+// event stream.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	const pid = 1
+	tids := make(map[string]int)
+	var meta []chromeEvent
+	tidOf := func(comp string) int {
+		if comp == "" {
+			comp = "(kernel)"
+		}
+		id, ok := tids[comp]
+		if !ok {
+			id = len(tids) + 1
+			tids[comp] = id
+			meta = append(meta, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   pid,
+				TID:   id,
+				Args:  map[string]any{"name": comp},
+			})
+		}
+		return id
+	}
+
+	out := make([]chromeEvent, 0, len(events)+8)
+	for _, e := range events {
+		ce := chromeEvent{
+			Cat:  category(e.Type),
+			PID:  pid,
+			TID:  tidOf(e.Comp),
+			TS:   e.T * 1e6,
+			Name: string(e.Type),
+		}
+		if e.Name != "" {
+			ce.Name = string(e.Type) + ":" + e.Name
+		}
+		if len(e.Args) > 0 {
+			ce.Args = make(map[string]any, len(e.Args))
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			ce.TS = (e.T - e.Dur) * 1e6
+			ce.Dur = e.Dur * 1e6
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		out = append(out, ce)
+	}
+
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: append(meta, out...), DisplayTimeUnit: "ms"}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// category derives the Chrome event category from the dotted type prefix.
+func category(t EventType) string {
+	s := string(t)
+	if i := strings.IndexByte(s, '.'); i > 0 {
+		return s[:i]
+	}
+	if s == "" {
+		return "event"
+	}
+	return s
+}
+
+// ChromeSink buffers events and writes the Chrome trace on Close. It is a
+// convenience over Buffer + WriteChromeTrace for the CLI path.
+type ChromeSink struct {
+	buf Buffer
+	w   io.Writer
+}
+
+// NewChromeSink creates a sink that renders the full Chrome trace to w when
+// closed.
+func NewChromeSink(w io.Writer) *ChromeSink { return &ChromeSink{w: w} }
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(e Event) { s.buf.Emit(e) }
+
+// Close renders the trace and closes w if it is an io.Closer.
+func (s *ChromeSink) Close() error {
+	err := WriteChromeTrace(s.w, s.buf.Events())
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	return nil
+}

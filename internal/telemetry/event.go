@@ -1,0 +1,91 @@
+package telemetry
+
+// EventType names one kind of typed trace event. The constants below cover
+// the emulator stack; components may define additional types as long as the
+// "component.verb" dotted style is kept (the Chrome exporter uses the prefix
+// as the event category).
+type EventType string
+
+// Typed events emitted by the instrumented layers.
+const (
+	// Kernel process lifecycle (simcore).
+	EvProcSpawn  EventType = "proc.spawn"
+	EvProcPark   EventType = "proc.park"
+	EvProcResume EventType = "proc.resume"
+	EvProcExit   EventType = "proc.exit"
+
+	// Processor-sharing CPU model (cpusim).
+	EvCPUShare  EventType = "cpu.share"
+	EvTaskStart EventType = "cpu.task.start"
+	EvTaskDone  EventType = "cpu.task.done"
+
+	// Max-min fair network model (netsim).
+	EvNetRealloc EventType = "net.realloc"
+	EvFlowStart  EventType = "net.flow.start"
+	EvFlowEnd    EventType = "net.flow.end"
+
+	// Workflow scheduler (core).
+	EvSchedDecision EventType = "sched.decision"
+
+	// Rescheduler (§4): migration decisions and daemon activity.
+	EvReschedDecision EventType = "resched.decision"
+
+	// Contract monitoring (autopilot).
+	EvContractTick      EventType = "contract.tick"
+	EvContractViolation EventType = "contract.violation"
+
+	// SRS checkpointing.
+	EvCkptWrite EventType = "ckpt.write"
+	EvCkptRead  EventType = "ckpt.read"
+
+	// Application manager lifecycle.
+	EvAppPhase   EventType = "app.phase"
+	EvAppRestart EventType = "app.restart"
+
+	// MPI process swapping (§4.2).
+	EvSwapOrder EventType = "swap.order"
+	EvSwapDone  EventType = "swap.done"
+)
+
+// Arg is one ordered key/value attachment on an event. Values should be
+// float64, int, string or bool so every sink serializes them exactly the
+// same way run after run.
+type Arg struct {
+	Key string `json:"k"`
+	Val any    `json:"v"`
+}
+
+// F makes a float64 argument.
+func F(k string, v float64) Arg { return Arg{Key: k, Val: v} }
+
+// I makes an integer argument.
+func I(k string, v int) Arg { return Arg{Key: k, Val: v} }
+
+// S makes a string argument.
+func S(k, v string) Arg { return Arg{Key: k, Val: v} }
+
+// B makes a boolean argument.
+func B(k string, v bool) Arg { return Arg{Key: k, Val: v} }
+
+// Event is one structured trace record in virtual time. T and Seq are
+// assigned by Telemetry.Emit; Dur > 0 marks a span that ended at T (the
+// Chrome exporter renders it as a complete event starting at T-Dur).
+type Event struct {
+	T    float64   `json:"t"`
+	Seq  uint64    `json:"seq"`
+	Type EventType `json:"type"`
+	Comp string    `json:"comp,omitempty"`
+	Name string    `json:"name,omitempty"`
+	Dur  float64   `json:"dur,omitempty"`
+	Args []Arg     `json:"args,omitempty"`
+}
+
+// Arg returns the value of the named argument and whether it is present.
+func (e *Event) Arg(key string) (any, bool) {
+	for _, a := range e.Args {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Sink receives every event emitted through a Telemetry hub, in emission
+// order. Implementations must tolerate being called from any simulated
+// process (the kernel guarantees one runs at a time, but the race detector
+// still sees distinct goroutines, so sinks lock).
+type Sink interface {
+	Emit(Event)
+	Close() error
+}
+
+// Buffer is an in-memory sink retaining every event, the source for the
+// Chrome exporter and for test assertions.
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewBuffer creates an empty buffer sink.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit implements Sink.
+func (b *Buffer) Emit(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	b.mu.Unlock()
+}
+
+// Close implements Sink (a no-op).
+func (b *Buffer) Close() error { return nil }
+
+// Events returns a copy of the retained events in emission order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Event(nil), b.events...)
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// JSONL streams events as one JSON object per line. The encoding is fully
+// deterministic: struct field order, ordered Args, and Go's shortest-float
+// formatting, so two identical seeded runs produce byte-identical output.
+type JSONL struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer // closed on Close when the target is a closer
+}
+
+// NewJSONL creates a JSONL sink over w. If w is an io.Closer it is closed
+// by Close after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	s := &JSONL{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONL) Emit(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return // unserializable arg; drop rather than corrupt the stream
+	}
+	s.w.Write(b)
+	s.w.WriteByte('\n')
+}
+
+// Close flushes the stream and closes the underlying writer if it is a
+// closer.
+func (s *JSONL) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

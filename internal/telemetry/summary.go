@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary renders every registered metric as an aligned text table, grouped
+// by component (components and metric names alphabetical, so the output is
+// stable run to run). Histograms report count, mean, p50/p90/p99 and max.
+func (t *Telemetry) Summary() string {
+	if t == nil {
+		return "(telemetry disabled)\n"
+	}
+	type row struct{ comp, metric, kind, value string }
+	var rows []row
+
+	t.mu.Lock()
+	comps := append([]string(nil), t.order...)
+	sort.Strings(comps)
+	snapshot := make(map[string]*component, len(comps))
+	for _, name := range comps {
+		snapshot[name] = t.comps[name]
+	}
+	t.mu.Unlock()
+
+	for _, name := range comps {
+		c := snapshot[name]
+		counters := append([]string(nil), c.cOrder...)
+		sort.Strings(counters)
+		for _, m := range counters {
+			rows = append(rows, row{name, m, "counter", fmt.Sprintf("%d", c.counters[m].Value())})
+		}
+		gauges := append([]string(nil), c.gOrder...)
+		sort.Strings(gauges)
+		for _, m := range gauges {
+			rows = append(rows, row{name, m, "gauge", fmt.Sprintf("%g", c.gauges[m].Value())})
+		}
+		hists := append([]string(nil), c.hOrder...)
+		sort.Strings(hists)
+		for _, m := range hists {
+			h := c.hists[m]
+			rows = append(rows, row{name, m, "histogram", fmt.Sprintf(
+				"n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g",
+				h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())})
+		}
+	}
+	if len(rows) == 0 {
+		return "(no metrics registered)\n"
+	}
+
+	w1, w2, w3 := len("component"), len("metric"), len("kind")
+	for _, r := range rows {
+		if len(r.comp) > w1 {
+			w1 = len(r.comp)
+		}
+		if len(r.metric) > w2 {
+			w2 = len(r.metric)
+		}
+		if len(r.kind) > w3 {
+			w3 = len(r.kind)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %s\n", w1, "component", w2, "metric", w3, "kind", "value")
+	fmt.Fprintf(&b, "%s  %s  %s  %s\n",
+		strings.Repeat("-", w1), strings.Repeat("-", w2), strings.Repeat("-", w3), "-----")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s  %-*s  %-*s  %s\n", w1, r.comp, w2, r.metric, w3, r.kind, r.value)
+	}
+	return b.String()
+}
