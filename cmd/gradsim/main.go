@@ -20,6 +20,13 @@
 //	gradsim -exp fig4 -trace-jsonl out.jsonl # typed-event JSONL stream
 //	                                         # (byte-identical across runs)
 //	gradsim -exp fig4 -metrics               # metric summary after the run
+//
+// Fault injection (see the README "Fault injection" section):
+//
+//	gradsim -faults 'crash@100-400:utk1;outage@10-40:nws'
+//	                                         # run QR under an explicit fault
+//	                                         # schedule; combine with -trace-jsonl
+//	                                         # to capture the fault timeline
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
 	jsonlOut := flag.String("trace-jsonl", "", "stream typed telemetry events to this file as JSON lines")
 	metrics := flag.Bool("metrics", false, "print the telemetry metric summary after the run")
+	faults := flag.String("faults", "", "run the QR workload under this fault schedule "+
+		"(events 'kind@start[-end]:target[:value]' joined by ';', e.g. 'crash@100-400:utk1;outage@10-40:nws')")
 	flag.Parse()
 
 	if *list {
@@ -74,6 +83,8 @@ func main() {
 	var out string
 	var err error
 	switch {
+	case *faults != "":
+		out, err = grads.RunFaultSpec(*faults)
 	case *csv:
 		out, err = grads.RunExperimentCSV(*exp)
 	case *exp == "all":

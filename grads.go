@@ -24,6 +24,7 @@ import (
 
 	"grads/internal/apps"
 	"grads/internal/experiments"
+	"grads/internal/faultinject"
 	"grads/internal/telemetry"
 )
 
@@ -133,6 +134,15 @@ var registry = map[string]func() (string, error){
 			"recovery from periodic SRS checkpoints\n\n" +
 			experiments.FormatFault(res), nil
 	},
+	"chaos": func() (string, error) {
+		res, err := experiments.RunChaos(experiments.DefaultChaosConfig())
+		if err != nil {
+			return "", err
+		}
+		return "extension — chaos study: QR and EMAN under seeded node crashes,\n" +
+			"completion time and recovery count vs node MTBF\n\n" +
+			experiments.FormatChaos(res), nil
+	},
 	"validation": func() (string, error) {
 		r, err := experiments.RunValidation(experiments.DefaultFig4Config())
 		if err != nil {
@@ -159,6 +169,23 @@ var registry = map[string]func() (string, error){
 			"commodities market vs auctions under fluctuating demand\n\n" +
 			experiments.FormatEconomy(res), nil
 	},
+}
+
+// RunFaultSpec runs the QR workload under an explicit fault schedule (the
+// gradsim -faults flag; see faultinject.ParseSpec for the grammar) and
+// returns a report with the executed timeline and the recovery summary.
+func RunFaultSpec(spec string) (string, error) {
+	events, err := faultinject.ParseSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	r, timeline, err := experiments.RunChaosSpec(experiments.DefaultChaosConfig(), events)
+	if err != nil {
+		return "", err
+	}
+	return "fault injection — QR workload under explicit schedule\n\n" +
+		"schedule:\n" + timeline + "\n" +
+		experiments.FormatChaos([]experiments.ChaosResult{*r}), nil
 }
 
 // RunExperiment regenerates one experiment by name and returns its
@@ -212,6 +239,19 @@ var csvRegistry = map[string]func() (string, error){
 		for _, r := range res {
 			t.Add(fmt.Sprint(r.Interval), fmt.Sprint(r.Total), fmt.Sprint(r.LostWork),
 				fmt.Sprint(r.CkptWrite), fmt.Sprint(r.CkptRead), fmt.Sprint(r.Recoveries))
+		}
+		return t.CSV(), nil
+	},
+	"chaos": func() (string, error) {
+		res, err := experiments.RunChaos(experiments.DefaultChaosConfig())
+		if err != nil {
+			return "", err
+		}
+		t := &experiments.Table{Header: []string{"workload", "mtbf_s", "completed", "total_s", "recoveries", "faults_injected", "faults_recovered", "detector_suspects", "service_retries"}}
+		for _, r := range res {
+			t.Add(r.Workload, fmt.Sprint(r.MTBF), fmt.Sprint(r.Completed), fmt.Sprint(r.Total),
+				fmt.Sprint(r.Recoveries), fmt.Sprint(r.Injected), fmt.Sprint(r.Recovered),
+				fmt.Sprint(r.Suspects), fmt.Sprint(r.Retries))
 		}
 		return t.CSV(), nil
 	},

@@ -13,8 +13,11 @@ import (
 
 	"grads/internal/binder"
 	"grads/internal/cop"
+	"grads/internal/faultinject"
 	"grads/internal/mpi"
+	"grads/internal/netsim"
 	"grads/internal/nws"
+	"grads/internal/resilience"
 	"grads/internal/simcore"
 	"grads/internal/srs"
 	"grads/internal/telemetry"
@@ -85,6 +88,10 @@ type Manager struct {
 	// RSS, when set, is cleared between segments so the restarted
 	// execution does not immediately see the stale stop request.
 	RSS *srs.RSS
+
+	// Retrier, when set, retries the bind phase across transient service
+	// outages (binder or GIS down) instead of failing the execution.
+	Retrier *resilience.Retrier
 }
 
 // New creates a manager with defaults calibrated to the paper's "Grid
@@ -131,14 +138,16 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 			}
 		}
 
-		// Resource selection: the mapper picks nodes from the pool.
+		// Resource selection: the mapper picks nodes from the live part of
+		// the pool (crashed nodes never re-enter a placement until they
+		// recover).
 		t0 := p.Now()
 		var nodes []*topology.Node
 		if m.NextNodes != nil {
 			nodes = m.NextNodes
 			m.NextNodes = nil
 		} else {
-			nodes = app.Mapper().Map(pool, m.avail)
+			nodes = app.Mapper().Map(livePool(pool), m.avail)
 		}
 		if len(nodes) == 0 {
 			return rep, fmt.Errorf("appmgr: mapper selected no resources for %s", app.Name())
@@ -157,12 +166,28 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 		record(PhasePerfModeling, p.Now()-t0)
 
 		// Grid overhead: the distributed binder tailors the COP per node.
+		// The whole bind is retried across transient service outages.
 		t0 = p.Now()
-		bres, err := m.Binder.Bind(p, app.Pkg(), nodes)
+		var bres *binder.Result
+		err := m.Retrier.Do(p, "binder.bind", func() error {
+			var berr error
+			bres, berr = m.Binder.Bind(p, app.Pkg(), nodes)
+			return berr
+		})
 		if err != nil {
 			return rep, err
 		}
 		record(PhaseGridOverhead, p.Now()-t0)
+
+		// Pre-launch check: a chosen node may have crashed while the bind
+		// ran. Launching onto it would fail instantly, so discard the bind
+		// and re-select instead.
+		if downNode := firstDown(nodes); downNode != nil {
+			rep.Failures++
+			record(PhaseLostWork, p.Now()-t0)
+			m.emitRestart(app.Name(), run, "node-down-prelaunch")
+			continue
+		}
 
 		// Application start: MPI synchronization plus process launch.
 		t0 = p.Now()
@@ -179,11 +204,12 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 		segStart := p.Now()
 		rr, err := app.Run(p, nodes, restartNext)
 		if err != nil {
-			// Node failure: if the COP can roll back to a committed
-			// checkpoint, discard the segment and re-run the lifecycle on
-			// the surviving resources.
+			// Node failure (or a storage outage that outlasted the retry
+			// policy): if the COP can roll back to a committed checkpoint,
+			// discard the segment and re-run the lifecycle on the surviving
+			// resources.
 			rec, recoverable := app.(cop.Recoverable)
-			if !recoverable || !errors.Is(err, mpi.ErrNodeLost) {
+			if !recoverable || !(isNodeLoss(err) || faultinject.Retryable(err)) {
 				return rep, err
 			}
 			rep.Failures++
@@ -213,6 +239,34 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 		}
 		m.emitRestart(app.Name(), run, "srs-stop")
 	}
+}
+
+// livePool filters crashed nodes out of a resource pool.
+func livePool(pool []*topology.Node) []*topology.Node {
+	out := make([]*topology.Node, 0, len(pool))
+	for _, n := range pool {
+		if !n.Down() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// firstDown returns the first crashed node of a placement, or nil.
+func firstDown(nodes []*topology.Node) *topology.Node {
+	for _, n := range nodes {
+		if n.Down() {
+			return n
+		}
+	}
+	return nil
+}
+
+// isNodeLoss classifies an execution error as a recoverable node loss:
+// either the MPI layer reported the crash or a severed transfer surfaced it
+// first.
+func isNodeLoss(err error) bool {
+	return errors.Is(err, mpi.ErrNodeLost) || errors.Is(err, netsim.ErrEndpointDown)
 }
 
 // emitRestart publishes an application restart event (migration restart or

@@ -1,0 +1,155 @@
+package appmgr
+
+import (
+	"testing"
+
+	"grads/internal/faultinject"
+	"grads/internal/resilience"
+	"grads/internal/simcore"
+	"grads/internal/telemetry"
+)
+
+// captureEvents installs a buffering telemetry hub on the rig's sim and
+// returns the buffer.
+func captureEvents(r *rig) *telemetry.Buffer {
+	tel := telemetry.New()
+	buf := telemetry.NewBuffer()
+	tel.AddSink(buf)
+	r.sim.SetTelemetry(tel)
+	return buf
+}
+
+func eventNames(buf *telemetry.Buffer, typ telemetry.EventType) []string {
+	var names []string
+	for _, e := range buf.Events() {
+		if e.Type == typ {
+			names = append(names, e.Name)
+		}
+	}
+	return names
+}
+
+// TestExecuteMapperNoResources: with every pool node crashed the mapper has
+// nothing to select from and Execute fails up front instead of launching.
+func TestExecuteMapperNoResources(t *testing.T) {
+	r := newRig(t, 1000)
+	for _, n := range r.grid.Nodes() {
+		n.SetDown(true)
+	}
+	var execErr error
+	r.sim.Spawn("user", func(p *simcore.Proc) {
+		_, execErr = r.mgr.Execute(p, r.qr, r.grid.Nodes())
+	})
+	r.sim.Run()
+	if execErr == nil {
+		t.Fatal("Execute succeeded with an all-down pool")
+	}
+}
+
+// TestExecuteBinderOutageRetried: a transient binder outage during the bind
+// phase is ridden out by the manager's retrier; the execution completes and
+// the re-attempts are visible as service.retry telemetry.
+func TestExecuteBinderOutageRetried(t *testing.T) {
+	r := newRig(t, 1000)
+	buf := captureEvents(r)
+	h := faultinject.NewHealth(r.sim, "binder")
+	r.mgr.Binder.SetHealth(h)
+	retr := resilience.NewRetrier(r.sim, resilience.DefaultPolicy(), nil)
+	r.mgr.Retrier = retr
+
+	// The bind phase starts after ~12 s of selection + modeling; take the
+	// binder down across it and bring it back shortly after.
+	h.SetDown(true)
+	r.sim.At(14, func() { h.SetDown(false) })
+
+	var rep *Report
+	var execErr error
+	r.sim.Spawn("user", func(p *simcore.Proc) {
+		rep, execErr = r.mgr.Execute(p, r.qr, r.grid.Nodes())
+	})
+	r.sim.Run()
+	if execErr != nil {
+		t.Fatalf("Execute did not survive the transient outage: %v", execErr)
+	}
+	if rep == nil || rep.Runs != 1 {
+		t.Fatalf("report %+v, want a single completed run", rep)
+	}
+	if retr.Retries() == 0 {
+		t.Fatal("no retries recorded for the outage")
+	}
+	if len(eventNames(buf, telemetry.EvServiceRetry)) == 0 {
+		t.Fatal("no service.retry telemetry emitted")
+	}
+}
+
+// TestExecuteBinderPermanentOutageFails: when the binder never comes back
+// the retrier exhausts its attempts and Execute surfaces the outage rather
+// than looping forever.
+func TestExecuteBinderPermanentOutageFails(t *testing.T) {
+	r := newRig(t, 1000)
+	h := faultinject.NewHealth(r.sim, "binder")
+	r.mgr.Binder.SetHealth(h)
+	h.SetDown(true)
+	retr := resilience.NewRetrier(r.sim, resilience.DefaultPolicy(), nil)
+	r.mgr.Retrier = retr
+
+	var execErr error
+	r.sim.Spawn("user", func(p *simcore.Proc) {
+		_, execErr = r.mgr.Execute(p, r.qr, r.grid.Nodes())
+	})
+	r.sim.RunUntil(1000)
+	if !faultinject.Retryable(execErr) {
+		t.Fatalf("Execute = %v, want the exhausted retryable outage", execErr)
+	}
+	if retr.GaveUp() != 1 {
+		t.Fatalf("gaveUp=%d, want 1", retr.GaveUp())
+	}
+}
+
+// TestExecuteNodeFailureEmitsRestartTelemetry: a node crash mid-run produces
+// an app.restart event with the node-failure reason (plus the restarts
+// counter) as the manager re-runs the lifecycle.
+func TestExecuteNodeFailureEmitsRestartTelemetry(t *testing.T) {
+	r := newRig(t, 4000)
+	buf := captureEvents(r)
+	r.qr.CheckpointEvery = 5
+	r.mgr.RSS = r.rss
+
+	r.sim.Spawn("chaos", func(p *simcore.Proc) {
+		for r.qr.DonePanels() == 0 {
+			if p.Sleep(1) != nil {
+				return
+			}
+		}
+		if p.Sleep(60) != nil {
+			return
+		}
+		r.qr.FailCurrentNode(0)
+	})
+	var rep *Report
+	r.sim.Spawn("user", func(p *simcore.Proc) {
+		got, err := r.mgr.Execute(p, r.qr, r.grid.Nodes())
+		if err != nil {
+			t.Errorf("Execute did not recover: %v", err)
+			return
+		}
+		rep = got
+	})
+	r.sim.Run()
+	if rep == nil || rep.Failures != 1 {
+		t.Fatalf("report %+v, want one survived failure", rep)
+	}
+	restarts := eventNames(buf, telemetry.EvAppRestart)
+	foundNodeFailure := false
+	for _, name := range restarts {
+		if name == "node-failure" {
+			foundNodeFailure = true
+		}
+	}
+	if !foundNodeFailure {
+		t.Fatalf("restart events %v, want a node-failure restart", restarts)
+	}
+	if got := r.sim.Telemetry().Counter("appmgr", "restarts").Value(); got == 0 {
+		t.Fatal("appmgr restarts counter not incremented")
+	}
+}

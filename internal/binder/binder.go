@@ -11,7 +11,9 @@ package binder
 import (
 	"fmt"
 
+	"grads/internal/faultinject"
 	"grads/internal/gis"
+	"grads/internal/resilience"
 	"grads/internal/simcore"
 	"grads/internal/topology"
 )
@@ -59,7 +61,18 @@ type Binder struct {
 	InstrumentTime float64
 	// ConfigureTime is the per-node cost of the configuration script.
 	ConfigureTime float64
+
+	health  *faultinject.Health
+	retrier *resilience.Retrier
 }
+
+// SetHealth attaches the chaos-layer availability handle; Bind fails fast
+// with ErrUnavailable while the binder service itself is down.
+func (b *Binder) SetHealth(h *faultinject.Health) { b.health = h }
+
+// SetRetrier installs a retry policy around the binder's GIS lookups, so
+// transient GIS outages stall a bind instead of failing it.
+func (b *Binder) SetRetrier(r *resilience.Retrier) { b.retrier = r }
 
 // New creates a binder with 2003-era defaults.
 func New(sim *simcore.Sim, g *gis.Service) *Binder {
@@ -81,11 +94,19 @@ func (b *Binder) Bind(p *simcore.Proc, pkg Package, nodes []*topology.Node) (*Re
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("binder: no nodes scheduled")
 	}
+	if err := b.health.Check(p); err != nil {
+		return nil, fmt.Errorf("binder: %w", err)
+	}
 	start := p.Now()
 
-	// Global binder: locate the local binder code on every scheduled node.
+	// Global binder: locate the local binder code on every scheduled node,
+	// riding out transient GIS outages via the retry policy.
 	for _, n := range nodes {
-		if _, err := b.gis.LookupSoftware(p, n.Name(), LocalBinderPkg); err != nil {
+		err := b.retrier.Do(p, "gis.lookup", func() error {
+			_, lerr := b.gis.LookupSoftware(p, n.Name(), LocalBinderPkg)
+			return lerr
+		})
+		if err != nil {
 			return nil, fmt.Errorf("binder: global phase: %w", err)
 		}
 	}
@@ -106,9 +127,15 @@ func (b *Binder) Bind(p *simcore.Proc, pkg Package, nodes []*topology.Node) (*Re
 				}
 			}()
 			t0 := lp.Now()
-			// Locate application-specific libraries.
+			// Locate application-specific libraries (retried like the
+			// global phase).
 			for _, lib := range pkg.Libraries {
-				if _, err := b.gis.LookupSoftware(lp, n.Name(), lib); err != nil {
+				lib := lib
+				err := b.retrier.Do(lp, "gis.lookup", func() error {
+					_, lerr := b.gis.LookupSoftware(lp, n.Name(), lib)
+					return lerr
+				})
+				if err != nil {
 					errs[i] = err
 					return
 				}

@@ -307,7 +307,13 @@ type Market interface {
 // Simulate runs rounds of a market under stochastic demand: each round
 // every consumer's demand is re-drawn uniformly from [0, 2*base] (seeded,
 // deterministic), mimicking G-commerce's fluctuating consumer populations.
+// All randomness flows through the explicit rng (never the global source),
+// so a run is fully reproducible from its seed; a nil rng falls back to a
+// fixed-seed source rather than nondeterminism.
 func Simulate(m Market, consumers []*Consumer, rounds int, rng *rand.Rand) *Series {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
 	base := make([]int, len(consumers))
 	for i, c := range consumers {
 		base[i] = c.Demand

@@ -1,0 +1,208 @@
+package faultinject
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+func testGrid(sim *simcore.Sim) *topology.Grid {
+	g := topology.NewGrid(sim)
+	g.AddSite("A", 1e8, 1e-4)
+	g.AddSite("B", 1e8, 1e-4)
+	g.Connect("A", "B", 1.25e6, 0.011)
+	g.AddNode(topology.NodeSpec{Name: "a1", Site: "A", MHz: 1000, FlopsPerCycle: 1})
+	g.AddNode(topology.NodeSpec{Name: "a2", Site: "A", MHz: 1000, FlopsPerCycle: 1})
+	g.AddNode(topology.NodeSpec{Name: "b1", Site: "B", MHz: 1000, FlopsPerCycle: 1})
+	return g
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	spec := "outage@10-40:nws;crash@100-400:a1;slow@150-300:a2:4;" +
+		"linkslow@50-90:lan:A:0.25;linkdown@200-260:wan:A|B;lag@20:gis:0.5"
+	events, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(events))
+	}
+	// Link targets keep their internal colons.
+	found := map[string]bool{}
+	for _, e := range events {
+		found[string(e.Kind)+":"+e.Target] = true
+	}
+	for _, want := range []string{"linkslow:lan:A", "linkdown:wan:A|B", "lag:gis"} {
+		if !found[want] {
+			t.Fatalf("missing %q in parsed events %v", want, events)
+		}
+	}
+	// Format → Parse is the identity on the sorted schedule.
+	again, err := ParseSpec(FormatSpec(events))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !reflect.DeepEqual(events, again) {
+		t.Fatalf("round trip changed the schedule:\n%v\n%v", events, again)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                    // empty
+		"crash:100:a1",        // missing '@'
+		"explode@10:a1",       // unknown kind
+		"crash@40-10:a1",      // end before start
+		"crash@-5:a1",         // negative time
+		"crash@10:",           // empty target
+		"slow@10:a1",          // missing value
+		"slow@10:a1:x",        // bad value
+		"slow@10:a1:-2",       // non-positive value
+		"linkslow@10:lan:A:2", // factor outside (0,1]
+		"crash@ten:a1",        // bad time
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestGenerateNodeFaultsDeterministicAndSparesSurvivor(t *testing.T) {
+	nodes := []string{"a1", "a2", "b1"}
+	gen := func() []Event {
+		return GenerateNodeFaults(rand.New(rand.NewSource(7)), nodes, 50, 10, 500)
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) == 0 {
+		t.Fatal("no faults generated")
+	}
+	for _, e := range a {
+		if e.Target == "b1" {
+			t.Fatal("survivor node b1 was scheduled to crash")
+		}
+		if e.Kind != KindCrash {
+			t.Fatalf("unexpected kind %s", e.Kind)
+		}
+		if e.End <= e.Start {
+			t.Fatalf("mttr > 0 must schedule recovery: %+v", e)
+		}
+	}
+	// Permanent crashes: one per non-survivor node, no recovery.
+	perm := GenerateNodeFaults(rand.New(rand.NewSource(7)), nodes, 50, 0, 500)
+	if len(perm) != 2 {
+		t.Fatalf("permanent schedule has %d events, want 2", len(perm))
+	}
+	for _, e := range perm {
+		if e.End != 0 {
+			t.Fatalf("permanent crash has a recovery: %+v", e)
+		}
+	}
+}
+
+func TestInjectorExecutesTimeline(t *testing.T) {
+	sim := simcore.New(1)
+	g := testGrid(sim)
+	in := NewInjector(sim, g)
+	h := NewHealth(sim, "gis")
+	in.RegisterService("gis", h)
+	if err := in.LoadSpec("crash@10-20:a1;outage@5-15:gis;crash@30:nosuch"); err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	in.Start()
+
+	type probe struct {
+		at          float64
+		nodeDown    bool
+		serviceDown bool
+	}
+	var probes []probe
+	for _, at := range []float64{1, 7, 12, 25} {
+		at := at
+		sim.At(at, func() {
+			probes = append(probes, probe{at, g.Node("a1").Down(), h.Down()})
+		})
+	}
+	sim.Run()
+
+	want := []probe{
+		{1, false, false},
+		{7, false, true},
+		{12, true, true},
+		{25, false, false},
+	}
+	if !reflect.DeepEqual(probes, want) {
+		t.Fatalf("timeline probes %v, want %v", probes, want)
+	}
+	if in.Injected() != 2 || in.Recovered() != 2 {
+		t.Fatalf("injected=%d recovered=%d, want 2/2", in.Injected(), in.Recovered())
+	}
+	if in.Skipped() != 1 {
+		t.Fatalf("skipped=%d, want 1 (unknown target)", in.Skipped())
+	}
+}
+
+func TestInjectorStopFreezesTimeline(t *testing.T) {
+	sim := simcore.New(1)
+	g := testGrid(sim)
+	in := NewInjector(sim, g)
+	if err := in.LoadSpec("crash@10:a1;crash@100:a2"); err != nil {
+		t.Fatal(err)
+	}
+	in.Start()
+	sim.At(50, in.Stop)
+	sim.Run()
+	if !g.Node("a1").Down() {
+		t.Fatal("first crash did not execute")
+	}
+	if g.Node("a2").Down() {
+		t.Fatal("crash scheduled after Stop still executed")
+	}
+	if in.Injected() != 1 {
+		t.Fatalf("injected=%d, want 1", in.Injected())
+	}
+}
+
+func TestHealthCheckGateAndLatency(t *testing.T) {
+	sim := simcore.New(1)
+	h := NewHealth(sim, "gis")
+	var nilHealth *Health
+	var lagPaid float64
+	var downErr, nilErr error
+	sim.Spawn("caller", func(p *simcore.Proc) {
+		nilErr = nilHealth.Check(p) // nil Health is healthy and free
+
+		h.SetExtraLatency(0.5)
+		t0 := p.Now()
+		if err := h.Check(p); err != nil {
+			t.Errorf("lagged Check failed: %v", err)
+		}
+		lagPaid = p.Now() - t0
+
+		h.SetExtraLatency(0)
+		h.SetDown(true)
+		downErr = h.Check(p)
+	})
+	sim.Run()
+	if nilErr != nil {
+		t.Fatalf("nil Health rejected a call: %v", nilErr)
+	}
+	if lagPaid != 0.5 {
+		t.Fatalf("lag penalty %v, want 0.5", lagPaid)
+	}
+	if !Retryable(downErr) || !errors.Is(downErr, ErrUnavailable) {
+		t.Fatalf("down Check error %v, want retryable ErrUnavailable", downErr)
+	}
+	if h.Rejected() != 1 {
+		t.Fatalf("rejected=%d, want 1", h.Rejected())
+	}
+	if err := h.CheckNow(); !Retryable(err) {
+		t.Fatalf("CheckNow while down = %v, want retryable", err)
+	}
+}

@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind names one class of injectable fault.
+type Kind string
+
+// The fault kinds the injector executes.
+const (
+	// KindCrash takes a node down (and kills the flows and processes it
+	// hosts); recovery brings it back into the GIS-visible pool.
+	KindCrash Kind = "crash"
+	// KindSlow squeezes a node's CPU by adding Value units of competing
+	// external load; recovery removes them again.
+	KindSlow Kind = "slow"
+	// KindLinkDown partitions a link: active flows crossing it are killed
+	// and new transfers fail until recovery.
+	KindLinkDown Kind = "linkdown"
+	// KindLinkSlow degrades a link to Value (0..1] of its capacity;
+	// recovery restores full capacity.
+	KindLinkSlow Kind = "linkslow"
+	// KindOutage takes a grid service (gis, nws, binder, ibp) down; its
+	// calls fail with ErrUnavailable until recovery.
+	KindOutage Kind = "outage"
+	// KindLag adds Value seconds of latency to every call of a grid
+	// service; recovery removes the penalty.
+	KindLag Kind = "lag"
+)
+
+// Event is one scheduled fault: injected at Start and, when End > Start,
+// recovered at End. End = 0 (or <= Start) means the fault is permanent.
+type Event struct {
+	Kind   Kind
+	Start  float64
+	End    float64
+	Target string  // node name, link name, or service name
+	Value  float64 // kind-specific magnitude (load units, capacity factor, seconds)
+}
+
+// String renders the event in the -faults spec grammar.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", e.Kind, trimFloat(e.Start))
+	if e.End > e.Start {
+		fmt.Fprintf(&b, "-%s", trimFloat(e.End))
+	}
+	fmt.Fprintf(&b, ":%s", e.Target)
+	if kindHasValue(e.Kind) {
+		fmt.Fprintf(&b, ":%s", trimFloat(e.Value))
+	}
+	return b.String()
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// kindHasValue reports whether the kind carries a magnitude argument.
+func kindHasValue(k Kind) bool {
+	switch k {
+	case KindSlow, KindLinkSlow, KindLag:
+		return true
+	}
+	return false
+}
+
+// FormatSpec renders a schedule in the spec grammar (the inverse of
+// ParseSpec), so generated schedules can be reported and replayed.
+func FormatSpec(events []Event) string {
+	parts := make([]string, len(events))
+	for i, e := range events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseSpec parses the -faults schedule grammar:
+//
+//	spec  := event (';' event)*
+//	event := kind '@' start [ '-' end ] ':' target [ ':' value ]
+//
+// where kind is one of crash, slow, linkdown, linkslow, outage, lag; start
+// and end are virtual-time seconds; target is a node name (crash, slow), a
+// netsim link name such as "lan:UT" or "wan:UIUC|UT" (linkdown, linkslow),
+// or a service name gis|nws|binder|ibp (outage, lag); and value is the
+// kind's magnitude (slow: added load units, linkslow: capacity factor in
+// (0,1], lag: seconds per call). Omitting "-end" makes the fault permanent.
+//
+// Examples:
+//
+//	crash@800:qr0                      qr0 fails at t=800 and stays down
+//	crash@800-1600:qr2                 qr2 fails at 800, recovers at 1600
+//	slow@100-400:qr1:4                 4 competing processes on qr1
+//	linkslow@50-90:lan:UT:0.25         UT LAN at quarter capacity
+//	linkdown@200-260:wan:UIUC|UT       WAN partition for 60 s
+//	outage@10-40:nws                   NWS outage
+//	lag@10-40:gis:0.5                  every GIS call pays +0.5 s
+func ParseSpec(spec string) ([]Event, error) {
+	var events []Event
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseEvent(part)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: bad event %q: %w", part, err)
+		}
+		events = append(events, e)
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault spec")
+	}
+	sortEvents(events)
+	return events, nil
+}
+
+func parseEvent(s string) (Event, error) {
+	at := strings.Index(s, "@")
+	if at < 0 {
+		return Event{}, fmt.Errorf("missing '@'")
+	}
+	kind := Kind(strings.ToLower(strings.TrimSpace(s[:at])))
+	switch kind {
+	case KindCrash, KindSlow, KindLinkDown, KindLinkSlow, KindOutage, KindLag:
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q", string(kind))
+	}
+	rest := s[at+1:]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return Event{}, fmt.Errorf("missing ':' before target")
+	}
+	times, target := rest[:colon], rest[colon+1:]
+
+	e := Event{Kind: kind}
+	var err error
+	if dash := strings.Index(times, "-"); dash >= 0 {
+		if e.Start, err = strconv.ParseFloat(times[:dash], 64); err != nil {
+			return Event{}, fmt.Errorf("bad start time %q", times[:dash])
+		}
+		if e.End, err = strconv.ParseFloat(times[dash+1:], 64); err != nil {
+			return Event{}, fmt.Errorf("bad end time %q", times[dash+1:])
+		}
+		if e.End <= e.Start {
+			return Event{}, fmt.Errorf("end %g not after start %g", e.End, e.Start)
+		}
+	} else if e.Start, err = strconv.ParseFloat(times, 64); err != nil {
+		return Event{}, fmt.Errorf("bad time %q", times)
+	}
+	if e.Start < 0 {
+		return Event{}, fmt.Errorf("negative time %g", e.Start)
+	}
+
+	if kindHasValue(kind) {
+		last := strings.LastIndex(target, ":")
+		if last < 0 {
+			return Event{}, fmt.Errorf("%s needs a ':value' suffix", kind)
+		}
+		if e.Value, err = strconv.ParseFloat(target[last+1:], 64); err != nil {
+			return Event{}, fmt.Errorf("bad value %q", target[last+1:])
+		}
+		target = target[:last]
+		switch {
+		case kind == KindLinkSlow && (e.Value <= 0 || e.Value > 1):
+			return Event{}, fmt.Errorf("linkslow factor %g outside (0,1]", e.Value)
+		case kind != KindLinkSlow && e.Value <= 0:
+			return Event{}, fmt.Errorf("value %g must be positive", e.Value)
+		}
+	}
+	if target == "" {
+		return Event{}, fmt.Errorf("empty target")
+	}
+	e.Target = target
+	return e, nil
+}
+
+// sortEvents orders a schedule by start time, then kind, then target —
+// a total order, so schedule execution is deterministic regardless of how
+// the events were produced.
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Target < b.Target
+	})
+}
+
+// GenerateNodeFaults builds a seeded crash/recover schedule over the named
+// nodes on [0, horizon): each node fails with exponentially distributed
+// time-between-failures of mean mtbf and stays down for an exponentially
+// distributed repair time of mean mttr (a non-positive mttr makes every
+// crash permanent). The schedule is fully determined by rng's state, and at
+// least one node is always left untouched so recovery has somewhere to run.
+func GenerateNodeFaults(rng *rand.Rand, nodes []string, mtbf, mttr, horizon float64) []Event {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if mtbf <= 0 || horizon <= 0 || len(nodes) == 0 {
+		return nil
+	}
+	spared := len(nodes) - 1 // index of the survivor node
+	var events []Event
+	for i, node := range nodes {
+		if i == spared {
+			continue
+		}
+		t := rng.ExpFloat64() * mtbf
+		for t < horizon {
+			e := Event{Kind: KindCrash, Start: t, Target: node}
+			if mttr > 0 {
+				e.End = t + math.Max(1, rng.ExpFloat64()*mttr)
+				t = e.End + rng.ExpFloat64()*mtbf
+			} else {
+				t = horizon
+			}
+			events = append(events, e)
+		}
+	}
+	sortEvents(events)
+	return events
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"grads/internal/faultinject"
 	"grads/internal/simcore"
 	"grads/internal/topology"
 )
@@ -25,7 +26,12 @@ type Service struct {
 	// software maps node name -> package name -> install path.
 	software map[string]map[string]string
 	queries  int
+	health   *faultinject.Health
 }
+
+// SetHealth attaches the chaos-layer availability handle; every query is
+// gated on it. A nil health (the default) is always available.
+func (s *Service) SetHealth(h *faultinject.Health) { s.health = h }
 
 // New creates a GIS over grid.
 func New(sim *simcore.Sim, grid *topology.Grid) *Service {
@@ -62,6 +68,9 @@ func (s *Service) RegisterSoftwareEverywhere(pkg, path string) {
 // the binder treats that as a deployment failure.
 func (s *Service) LookupSoftware(p *simcore.Proc, node, pkg string) (string, error) {
 	s.queries++
+	if err := s.health.Check(p); err != nil {
+		return "", err
+	}
 	if err := p.Sleep(QueryDelay); err != nil {
 		return "", err
 	}
@@ -114,6 +123,9 @@ func (s *Service) matches(n *topology.Node, f Filter) bool {
 // The calling process pays QueryDelay.
 func (s *Service) QueryResources(p *simcore.Proc, f Filter) ([]*topology.Node, error) {
 	s.queries++
+	if err := s.health.Check(p); err != nil {
+		return nil, err
+	}
 	if err := p.Sleep(QueryDelay); err != nil {
 		return nil, err
 	}
@@ -150,6 +162,9 @@ type NodeInfo struct {
 // as the binder consumes it. It returns an error for unknown nodes.
 func (s *Service) DescribeNode(p *simcore.Proc, name string) (NodeInfo, error) {
 	s.queries++
+	if err := s.health.Check(p); err != nil {
+		return NodeInfo{}, err
+	}
 	if err := p.Sleep(QueryDelay); err != nil {
 		return NodeInfo{}, err
 	}

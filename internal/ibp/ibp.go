@@ -11,10 +11,18 @@ package ibp
 
 import (
 	"fmt"
+	"sort"
 
+	"grads/internal/faultinject"
 	"grads/internal/simcore"
 	"grads/internal/topology"
 )
+
+// ErrDepotDown is returned by depot operations whose hosting node is down.
+// It wraps faultinject.ErrUnavailable so callers' retry policies treat a
+// crashed depot as transient — the node may recover, or SRS may fall back
+// to a replica on another depot.
+var ErrDepotDown = fmt.Errorf("%w: ibp depot node down", faultinject.ErrUnavailable)
 
 // DefaultDiskRate is the local disk throughput of a depot in bytes/s
 // (2003-era IDE disk).
@@ -44,6 +52,24 @@ type System struct {
 	sim    *simcore.Sim
 	grid   *topology.Grid
 	depots map[string]*Depot // node name -> depot
+	health *faultinject.Health
+}
+
+// SetHealth attaches the chaos-layer availability handle for the IBP
+// service as a whole (outage/lag events target it); individual depot
+// failures are modeled by their hosting node going down.
+func (s *System) SetHealth(h *faultinject.Health) { s.health = h }
+
+// check gates a depot operation: the service must be up and the depot's
+// hosting node alive.
+func (s *System) check(p *simcore.Proc, d *Depot) error {
+	if err := s.health.Check(p); err != nil {
+		return err
+	}
+	if d.node.Down() {
+		return fmt.Errorf("%w: %s", ErrDepotDown, d.node.Name())
+	}
+	return nil
 }
 
 // New creates an IBP system with no depots.
@@ -86,10 +112,17 @@ func (s *System) Store(p *simcore.Proc, from, depotNode *topology.Node, key stri
 	if bytes < 0 {
 		return fmt.Errorf("ibp: negative size for %q", key)
 	}
+	if err := s.check(p, d); err != nil {
+		return err
+	}
 	if from != depotNode {
-		if _, err := s.grid.Net.Transfer(p, s.grid.Route(from, depotNode), bytes); err != nil {
+		if _, err := s.grid.Net.TransferLabeled(p, s.grid.Route(from, depotNode), bytes, from.Name(), depotNode.Name()); err != nil {
 			return err
 		}
+	}
+	// The depot may have crashed while the data was in flight.
+	if d.node.Down() {
+		return fmt.Errorf("%w: %s", ErrDepotDown, d.node.Name())
 	}
 	if err := p.Sleep(bytes / d.diskRate); err != nil {
 		return err
@@ -110,11 +143,14 @@ func (s *System) Retrieve(p *simcore.Proc, depotNode, to *topology.Node, key str
 	if !ok {
 		return 0, fmt.Errorf("ibp: key %q not in depot on %q", key, depotNode.Name())
 	}
+	if err := s.check(p, d); err != nil {
+		return 0, err
+	}
 	if err := p.Sleep(bytes / d.diskRate); err != nil {
 		return 0, err
 	}
 	if depotNode != to {
-		if _, err := s.grid.Net.Transfer(p, s.grid.Route(depotNode, to), bytes); err != nil {
+		if _, err := s.grid.Net.TransferLabeled(p, s.grid.Route(depotNode, to), bytes, depotNode.Name(), to.Name()); err != nil {
 			return 0, err
 		}
 	}
@@ -140,15 +176,45 @@ func (s *System) RetrievePartial(p *simcore.Proc, depotNode, to *topology.Node, 
 	if bytes <= 0 {
 		return 0, nil
 	}
+	if err := s.check(p, d); err != nil {
+		return 0, err
+	}
 	if err := p.Sleep(bytes / d.diskRate); err != nil {
 		return 0, err
 	}
 	if depotNode != to {
-		if _, err := s.grid.Net.Transfer(p, s.grid.Route(depotNode, to), bytes); err != nil {
+		if _, err := s.grid.Net.TransferLabeled(p, s.grid.Route(depotNode, to), bytes, depotNode.Name(), to.Name()); err != nil {
 			return 0, err
 		}
 	}
 	return bytes, nil
+}
+
+// ReplicaFor returns the depot node that should hold a replica of data
+// whose primary depot is on primary: the first alive depot-bearing node
+// other than primary, preferring primary's own site (a cheap LAN copy), in
+// sorted node order so the choice is deterministic. It returns nil when no
+// other live depot exists.
+func (s *System) ReplicaFor(primary *topology.Node) *topology.Node {
+	names := make([]string, 0, len(s.depots))
+	for name := range s.depots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var fallback *topology.Node
+	for _, name := range names {
+		n := s.depots[name].node
+		if n == primary || n.Down() {
+			continue
+		}
+		if n.Site() == primary.Site() {
+			return n
+		}
+		if fallback == nil {
+			fallback = n
+		}
+	}
+	return fallback
 }
 
 // Size returns the stored size of key on a depot without any cost, or

@@ -36,10 +36,15 @@ func Spike(t0, t1, base, peak float64) Profile {
 
 // RandomWalk returns a profile sampled every dt on [0, until): each step the
 // value moves by a uniform increment in [-sigma, sigma] and is clamped to
-// [min, max]. The walk is deterministic given rng's state.
+// [min, max]. The walk is deterministic given rng's state: randomness only
+// ever comes from the explicit rng (never the global source), and a nil rng
+// falls back to a fixed-seed source rather than nondeterminism.
 func RandomWalk(rng *rand.Rand, until, dt, start, sigma, min, max float64) Profile {
 	if dt <= 0 || until <= 0 {
 		return Constant(start)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
 	}
 	var p Profile
 	v := start

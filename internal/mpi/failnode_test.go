@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"errors"
+	"testing"
+
+	"grads/internal/simcore"
+)
+
+// TestFailNodeKillsHostedRanksOnly: the hosted rank gets ErrNodeLost, the
+// peers unwind with ErrWorldAborted, and the world records the failure.
+func TestFailNodeKillsHostedRanksOnly(t *testing.T) {
+	sim := simcore.New(1)
+	_, w := testWorld(t, sim, 2)
+	errs := make([]error, 2)
+	w.Start(func(ctx *Ctx) {
+		errs[ctx.PhysRank()] = ctx.Compute(1e12) // long enough to be mid-compute at t=1
+	})
+	sim.At(1, func() {
+		if lost := w.FailNode(w.Node(0).Name()); lost != 1 {
+			t.Errorf("FailNode lost %d procs, want 1", lost)
+		}
+	})
+	sim.Run()
+	if !errors.Is(errs[0], ErrNodeLost) {
+		t.Fatalf("hosted rank got %v, want ErrNodeLost", errs[0])
+	}
+	if !errors.Is(errs[1], ErrWorldAborted) {
+		t.Fatalf("surviving rank got %v, want ErrWorldAborted", errs[1])
+	}
+	if !errors.Is(w.Err(), ErrNodeLost) {
+		t.Fatalf("world error %v, want ErrNodeLost", w.Err())
+	}
+	if !w.Node(0).Down() {
+		t.Fatal("failed node not marked down")
+	}
+}
+
+// TestFailNodeUnknownNode: a node outside the world's placement is a
+// harmless no-op — nothing dies, the run completes.
+func TestFailNodeUnknownNode(t *testing.T) {
+	sim := simcore.New(1)
+	_, w := testWorld(t, sim, 2)
+	done := 0
+	w.Start(func(ctx *Ctx) {
+		if err := ctx.Compute(1e9); err == nil {
+			done++
+		}
+	})
+	sim.At(0.5, func() {
+		if lost := w.FailNode("not-a-node"); lost != 0 {
+			t.Errorf("unknown node lost %d procs, want 0", lost)
+		}
+	})
+	sim.Run()
+	if done != 2 || w.Err() != nil {
+		t.Fatalf("done=%d err=%v, want an unaffected world", done, w.Err())
+	}
+}
+
+// TestFailNodeSameNodeTwice: the second failure of an already-failed node
+// finds no live process and returns 0.
+func TestFailNodeSameNodeTwice(t *testing.T) {
+	sim := simcore.New(1)
+	_, w := testWorld(t, sim, 2)
+	w.Start(func(ctx *Ctx) { ctx.Compute(1e12) })
+	name := w.Node(0).Name()
+	var first, second int
+	sim.At(1, func() { first = w.FailNode(name) })
+	sim.At(2, func() { second = w.FailNode(name) })
+	sim.Run()
+	if first != 1 || second != 0 {
+		t.Fatalf("first=%d second=%d, want 1 then 0", first, second)
+	}
+}
+
+// TestFailNodeAfterWorldExited: once every rank has terminated, FailNode is
+// a no-op — in particular it must not mark the (reusable) node down.
+func TestFailNodeAfterWorldExited(t *testing.T) {
+	sim := simcore.New(1)
+	_, w := testWorld(t, sim, 2)
+	w.Start(func(ctx *Ctx) { ctx.Compute(1e6) })
+	sim.Run()
+	if w.Running() != 0 {
+		t.Fatalf("%d ranks still running", w.Running())
+	}
+	if lost := w.FailNode(w.Node(0).Name()); lost != 0 {
+		t.Fatalf("FailNode after exit lost %d procs, want 0", lost)
+	}
+	if w.Node(0).Down() {
+		t.Fatal("FailNode after exit must not touch node state")
+	}
+	if w.Err() != nil {
+		t.Fatalf("FailNode after exit recorded %v", w.Err())
+	}
+}

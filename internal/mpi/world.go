@@ -58,9 +58,11 @@ type World struct {
 	name  string
 	ranks []*Rank
 
-	running int
-	done    *simcore.Signal
-	failed  error
+	running     int
+	done        *simcore.Signal
+	failed      error
+	exited      bool
+	unsubscribe func()
 }
 
 // Rank is one physical process of a World.
@@ -109,6 +111,13 @@ func (w *World) Node(i int) *topology.Node { return w.ranks[i].node }
 // Running/Err from event context to observe completion.
 func (w *World) Start(body func(ctx *Ctx)) {
 	w.running = len(w.ranks)
+	// Grid-level crashes (chaos layer) must reach this world's processes:
+	// subscribe for the lifetime of the run.
+	w.unsubscribe = w.grid.OnNodeStateChange(func(n *topology.Node, down bool) {
+		if down {
+			w.FailNode(n.Name())
+		}
+	})
 	for _, r := range w.ranks {
 		r := r
 		r.proc = w.sim.Spawn(fmt.Sprintf("%s[%d]", w.name, r.phys), func(p *simcore.Proc) {
@@ -116,6 +125,11 @@ func (w *World) Start(body func(ctx *Ctx)) {
 			defer func() {
 				w.running--
 				if w.running == 0 {
+					w.exited = true
+					if w.unsubscribe != nil {
+						w.unsubscribe()
+						w.unsubscribe = nil
+					}
 					w.done.Broadcast()
 				}
 			}()
@@ -162,9 +176,14 @@ func (w *World) abortSweep() {
 
 // FailNode marks the named node down and delivers ErrNodeLost to every
 // process of this world hosted on it, then aborts the world. It returns
-// the number of processes lost. This is the fault-injection entry point of
-// the fault-tolerance extension.
+// the number of processes lost. Unknown nodes, nodes hosting no live
+// process (including a second failure of the same node), and calls after
+// the world has drained are all harmless no-ops returning 0. This is the
+// fault-injection entry point of the fault-tolerance extension.
 func (w *World) FailNode(nodeName string) int {
+	if w.exited || w.running == 0 {
+		return 0
+	}
 	lost := 0
 	for _, r := range w.ranks {
 		if r.node.Name() != nodeName {

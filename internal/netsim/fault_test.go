@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"grads/internal/simcore"
+)
+
+func TestSetLinkDownKillsCrossingFlows(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	hit := n.AddLink("wan", 100, 0)
+	other := n.AddLink("lan", 100, 0)
+	var hitErr, otherErr error
+	var hitMoved float64
+	s.Spawn("victim", func(p *simcore.Proc) {
+		hitMoved, hitErr = n.Transfer(p, []*Link{hit}, 1000)
+	})
+	s.Spawn("bystander", func(p *simcore.Proc) {
+		_, otherErr = n.Transfer(p, []*Link{other}, 1000)
+	})
+	s.At(2, func() { n.SetLinkDown(hit, true) })
+	s.Run()
+	if !errors.Is(hitErr, ErrLinkDown) {
+		t.Fatalf("flow over downed link got %v, want ErrLinkDown", hitErr)
+	}
+	if hitMoved >= 1000 {
+		t.Fatalf("killed flow reported %v bytes moved", hitMoved)
+	}
+	if otherErr != nil {
+		t.Fatalf("flow on an unrelated link was killed: %v", otherErr)
+	}
+	if !hit.Down() || other.Down() {
+		t.Fatal("down flags wrong")
+	}
+}
+
+func TestTransferOverDownLinkFailsFast(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	l := n.AddLink("wan", 100, 0.5)
+	n.SetLinkDown(l, true)
+	var err error
+	var at float64
+	s.Spawn("tx", func(p *simcore.Proc) {
+		_, err = n.Transfer(p, []*Link{l}, 1000)
+		at = p.Now()
+	})
+	s.Run()
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("got %v, want ErrLinkDown", err)
+	}
+	if at != 0 {
+		t.Fatalf("down-route transfer paid latency (finished at %v), want fail before the latency sleep", at)
+	}
+}
+
+func TestLinkRecoveryRestoresTransfers(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	l := n.AddLink("wan", 100, 0)
+	n.SetLinkDown(l, true)
+	s.At(5, func() { n.SetLinkDown(l, false) })
+	var err error
+	var done float64
+	s.SpawnAt(6, "tx", func(p *simcore.Proc) {
+		_, err = n.Transfer(p, []*Link{l}, 100)
+		done = p.Now()
+	})
+	s.Run()
+	if err != nil {
+		t.Fatalf("transfer after recovery failed: %v", err)
+	}
+	if done != 7 {
+		t.Fatalf("finished at %v, want 7 (full capacity back)", done)
+	}
+}
+
+func TestFailEndpointKillsLabeledFlows(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	l := n.AddLink("lan", 100, 0)
+	cause := errors.New("node down")
+	var srcErr, dstErr, plainErr error
+	s.Spawn("from-a", func(p *simcore.Proc) {
+		_, srcErr = n.TransferLabeled(p, []*Link{l}, 1000, "a1", "b1")
+	})
+	s.Spawn("to-a", func(p *simcore.Proc) {
+		_, dstErr = n.TransferLabeled(p, []*Link{l}, 1000, "b1", "a1")
+	})
+	s.Spawn("unlabeled", func(p *simcore.Proc) {
+		_, plainErr = n.Transfer(p, []*Link{l}, 1000)
+	})
+	var killed int
+	s.At(1, func() { killed = n.FailEndpoint("a1", cause) })
+	s.Run()
+	if killed != 2 {
+		t.Fatalf("FailEndpoint killed %d flows, want 2", killed)
+	}
+	if !errors.Is(srcErr, cause) || !errors.Is(dstErr, cause) {
+		t.Fatalf("labeled flows got %v / %v, want the endpoint cause", srcErr, dstErr)
+	}
+	if plainErr != nil {
+		t.Fatalf("unlabeled flow was killed: %v", plainErr)
+	}
+}
+
+func TestCapacityAndLatencyFactorsDegrade(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	l := n.AddLink("wan", 100, 1)
+	n.SetCapacityFactor(l, 0.5)
+	n.SetLatencyFactor(l, 3)
+	var done float64
+	s.Spawn("tx", func(p *simcore.Proc) {
+		n.Transfer(p, []*Link{l}, 100)
+		done = p.Now()
+	})
+	s.Run()
+	// 3x latency (3 s) + 100 B at half capacity (2 s).
+	if done != 5 {
+		t.Fatalf("degraded transfer finished at %v, want 5", done)
+	}
+	if l.Capacity() != 50 || l.Latency() != 3 {
+		t.Fatalf("Capacity=%v Latency=%v, want 50/3", l.Capacity(), l.Latency())
+	}
+	// Recovery restores the nominal figures.
+	n.SetCapacityFactor(l, 1)
+	n.SetLatencyFactor(l, 1)
+	if l.Capacity() != 100 || l.Latency() != 1 {
+		t.Fatal("factors did not reset")
+	}
+}

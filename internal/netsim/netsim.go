@@ -11,6 +11,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,31 +19,50 @@ import (
 	"grads/internal/telemetry"
 )
 
+// ErrLinkDown is returned by transfers over a partitioned link and is the
+// interrupt cause delivered to flows crossing a link when it goes down.
+var ErrLinkDown = errors.New("netsim: link down")
+
+// ErrEndpointDown is the interrupt cause delivered to flows whose source or
+// destination endpoint (node) failed mid-transfer.
+var ErrEndpointDown = errors.New("netsim: endpoint down")
+
 // Link is a network link with fixed capacity and latency plus adjustable
-// background (cross) traffic. Create links with Network.AddLink.
+// background (cross) traffic and a fault state (degradation factors and a
+// partition flag) controlled by the chaos layer. Create links with
+// Network.AddLink.
 type Link struct {
 	name       string
 	capacity   float64 // bytes per second
 	latency    float64 // seconds
 	background float64 // bytes per second consumed by cross traffic
+
+	capFactor float64 // degradation multiplier on capacity, (0, 1]
+	latFactor float64 // degradation multiplier on latency, >= 1
+	down      bool    // partitioned: transfers fail
 }
 
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }
 
-// Capacity returns the link's raw capacity in bytes per second.
-func (l *Link) Capacity() float64 { return l.capacity }
+// Capacity returns the link's effective capacity in bytes per second:
+// the raw capacity scaled by any injected degradation.
+func (l *Link) Capacity() float64 { return l.capacity * l.capFactor }
 
-// Latency returns the link's one-way latency in seconds.
-func (l *Link) Latency() float64 { return l.latency }
+// Latency returns the link's effective one-way latency in seconds,
+// including any injected degradation.
+func (l *Link) Latency() float64 { return l.latency * l.latFactor }
 
 // Background returns the current cross-traffic consumption in bytes/s.
 func (l *Link) Background() float64 { return l.background }
 
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool { return l.down }
+
 // residual returns capacity available to simulated flows, floored at a tiny
 // positive value so saturated links stall flows without dividing by zero.
 func (l *Link) residual() float64 {
-	r := l.capacity - l.background
+	r := l.capacity*l.capFactor - l.background
 	if r < 1 {
 		r = 1
 	}
@@ -71,6 +91,7 @@ type flow struct {
 	rate      float64
 	start     float64
 	proc      *simcore.Proc
+	src, dst  string // endpoint labels for fault targeting ("" = unlabeled)
 }
 
 // New creates an empty network bound to sim.
@@ -87,7 +108,7 @@ func (n *Network) AddLink(name string, capacity, latency float64) *Link {
 	if _, dup := n.links[name]; dup {
 		panic(fmt.Sprintf("netsim: duplicate link %q", name))
 	}
-	l := &Link{name: name, capacity: capacity, latency: latency}
+	l := &Link{name: name, capacity: capacity, latency: latency, capFactor: 1, latFactor: 1}
 	n.links[name] = l
 	return l
 }
@@ -106,6 +127,108 @@ func (n *Network) SetBackground(l *Link, bytesPerSec float64) {
 	n.reallocate()
 	n.reschedule()
 	n.emitRealloc("background:" + l.name)
+}
+
+// SetCapacityFactor degrades (or restores) a link: its capacity becomes
+// factor times the raw capacity. factor clamps to (0, 1]. Active flows
+// re-split immediately.
+func (n *Network) SetCapacityFactor(l *Link, factor float64) {
+	if factor <= 0 {
+		factor = 1e-6
+	}
+	if factor > 1 {
+		factor = 1
+	}
+	n.advance()
+	l.capFactor = factor
+	n.reallocate()
+	n.reschedule()
+	n.emitRealloc("degrade:" + l.name)
+}
+
+// SetLatencyFactor multiplies a link's latency by factor (>= 1); 1 restores
+// the raw latency. Latency is paid at flow start, so only new transfers see
+// the change.
+func (n *Network) SetLatencyFactor(l *Link, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	l.latFactor = factor
+}
+
+// SetLinkDown partitions or restores a link. Going down kills every active
+// flow crossing the link (each blocked transfer returns ErrLinkDown with
+// its partial byte count) and makes new transfers over it fail until the
+// link comes back.
+func (n *Network) SetLinkDown(l *Link, down bool) {
+	if l.down == down {
+		return
+	}
+	n.advance()
+	l.down = down
+	if down {
+		n.failFlows(func(f *flow) bool {
+			for _, fl := range f.route {
+				if fl == l {
+					return true
+				}
+			}
+			return false
+		}, ErrLinkDown)
+	}
+	n.reallocate()
+	n.reschedule()
+	n.emitRealloc("partition:" + l.name)
+}
+
+// FailEndpoint kills every active flow labeled with the given endpoint as
+// source or destination (a node crash severs its transfers mid-flight).
+// Each victim's blocked transfer returns cause with its partial byte count.
+// It returns the number of flows killed.
+func (n *Network) FailEndpoint(name string, cause error) int {
+	if cause == nil {
+		cause = ErrEndpointDown
+	}
+	n.advance()
+	killed := n.failFlows(func(f *flow) bool { return f.src == name || f.dst == name }, cause)
+	if killed > 0 {
+		n.reallocate()
+		n.reschedule()
+		n.emitRealloc("endpoint:" + name)
+	}
+	return killed
+}
+
+// failFlows interrupts every active flow matching the predicate with cause.
+// The victims' Transfer calls unwind (removing themselves from the flow
+// set) as each interrupt is delivered. It returns the number interrupted.
+func (n *Network) failFlows(match func(*flow) bool, cause error) int {
+	var victims []*flow
+	for _, f := range n.flows {
+		if match(f) {
+			victims = append(victims, f)
+		}
+	}
+	for _, f := range victims {
+		f.proc.Interrupt(cause)
+	}
+	if len(victims) > 0 {
+		if tel := n.sim.Telemetry(); tel != nil {
+			tel.Counter("netsim", "flows_killed").Add(uint64(len(victims)))
+		}
+	}
+	return len(victims)
+}
+
+// routeUp returns nil when every link of route is up, or ErrLinkDown naming
+// the first partitioned link.
+func routeUp(route []*Link) error {
+	for _, l := range route {
+		if l.down {
+			return fmt.Errorf("%w: %s", ErrLinkDown, l.name)
+		}
+	}
+	return nil
 }
 
 // emitRealloc publishes a max-min reallocation trace event. It is called
@@ -149,7 +272,7 @@ func (n *Network) BytesMoved() float64 { return n.bytesMoved }
 func (n *Network) RouteLatency(route []*Link) float64 {
 	sum := 0.0
 	for _, l := range route {
-		sum += l.latency
+		sum += l.Latency()
 	}
 	return sum
 }
@@ -182,17 +305,35 @@ func (n *Network) TransferTimeEstimate(route []*Link, bytes float64) float64 {
 // Transfer moves bytes over route, blocking the calling process for the
 // route latency plus the fair-shared transmission time. It returns the bytes
 // actually delivered and the interrupt cause if interrupted mid-transfer.
-// An empty route (intra-node move) completes after a yield.
+// An empty route (intra-node move) completes after a yield. Transfers over a
+// partitioned link fail immediately with ErrLinkDown.
 func (n *Network) Transfer(p *simcore.Proc, route []*Link, bytes float64) (moved float64, err error) {
+	return n.TransferLabeled(p, route, bytes, "", "")
+}
+
+// TransferLabeled is Transfer with the flow labeled by its source and
+// destination node names, making it a target for FailEndpoint: when either
+// endpoint goes down mid-transfer the flow is killed and the blocked call
+// returns the failure cause with the partial byte count. Empty labels opt
+// out of endpoint fault targeting.
+func (n *Network) TransferLabeled(p *simcore.Proc, route []*Link, bytes float64, src, dst string) (moved float64, err error) {
 	if len(route) == 0 || bytes <= 0 {
 		return bytes, p.Yield()
+	}
+	if err := routeUp(route); err != nil {
+		return 0, err
 	}
 	if err := p.Sleep(n.RouteLatency(route)); err != nil {
 		return 0, err
 	}
+	// Re-check after paying the latency: the link may have been cut while
+	// the first bit was in flight.
+	if err := routeUp(route); err != nil {
+		return 0, err
+	}
 	n.advance()
 	n.nextSeq++
-	f := &flow{seq: n.nextSeq, route: route, remaining: bytes, total: bytes, start: n.sim.Now(), proc: p}
+	f := &flow{seq: n.nextSeq, route: route, remaining: bytes, total: bytes, start: n.sim.Now(), proc: p, src: src, dst: dst}
 	n.flows = append(n.flows, f)
 	n.reallocate()
 	n.reschedule()

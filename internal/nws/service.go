@@ -1,10 +1,13 @@
 package nws
 
 import (
+	"errors"
 	"math"
 
+	"grads/internal/faultinject"
 	"grads/internal/netsim"
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
@@ -34,7 +37,25 @@ type Service struct {
 	sensor  *simcore.Proc
 	stopped bool
 	probes  int
+
+	health   *faultinject.Health
+	degraded bool // in outage: forecasts serve last-known data
+	missed   int  // measurement rounds skipped during outages
 }
+
+// SetHealth attaches the chaos-layer availability handle. While the service
+// is down the sensor stops measuring and every forecast degrades gracefully
+// to last-known data (and, for series never measured, to the static
+// capability defaults) — consumers keep working on stale forecasts, exactly
+// the failure mode a real NWS outage produces.
+func (s *Service) SetHealth(h *faultinject.Health) { s.health = h }
+
+// Degraded reports whether the service is currently serving stale
+// (last-known) forecasts because of an outage.
+func (s *Service) Degraded() bool { return s.degraded }
+
+// Missed returns how many measurement rounds outages have suppressed.
+func (s *Service) Missed() int { return s.missed }
 
 // pairKey builds a canonical site-pair key.
 func pairKey(a, b string) string {
@@ -98,15 +119,45 @@ func (s *Service) Stop() {
 	s.sensor.Kill()
 }
 
-// run is the sensor loop.
+// run is the sensor loop. Outages suspend measurement (forecasts go stale);
+// probe transfers severed by network faults skip the round instead of
+// killing the sensor.
 func (s *Service) run(p *simcore.Proc) {
 	for !s.stopped {
-		if err := s.measure(p); err != nil {
-			return
+		if s.health.Down() {
+			s.setDegraded(true)
+			s.missed++
+		} else {
+			s.setDegraded(false)
+			if err := s.measure(p); err != nil {
+				if !errors.Is(err, netsim.ErrLinkDown) && !errors.Is(err, netsim.ErrEndpointDown) {
+					return
+				}
+			}
 		}
 		if err := p.Sleep(s.period); err != nil {
 			return
 		}
+	}
+}
+
+// setDegraded records outage-mode transitions, emitting one
+// service.degraded event per edge.
+func (s *Service) setDegraded(d bool) {
+	if s.degraded == d {
+		return
+	}
+	s.degraded = d
+	if d {
+		s.sim.Tracef("nws: outage — serving last-known forecasts")
+	} else {
+		s.sim.Tracef("nws: restored — measurements resume")
+	}
+	if tel := s.sim.Telemetry(); tel != nil {
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvServiceDegraded, Comp: "nws", Name: "forecasts",
+			Args: []telemetry.Arg{telemetry.B("degraded", d)},
+		})
 	}
 }
 

@@ -1,0 +1,156 @@
+// Package resilience provides the fault-handling primitives the GrADS
+// services share: a virtual-time retry policy with seeded exponential
+// backoff for calls against flaky grid services, and a heartbeat-based
+// failure detector that feeds the contract monitor and rescheduler when
+// nodes crash.
+//
+// Both primitives are deterministic: backoff jitter comes from an explicit
+// seeded source and all waiting happens in virtual time, so two runs with
+// the same seed retry at exactly the same instants.
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+
+	"grads/internal/faultinject"
+	"grads/internal/simcore"
+	"grads/internal/telemetry"
+)
+
+// Policy is a retry/timeout policy for calls against grid services.
+// Attempts that fail with a retryable error (faultinject.Retryable) are
+// re-tried after an exponentially growing, jittered backoff; other errors
+// propagate immediately. The zero value retries nothing; use DefaultPolicy
+// for the stack-wide default.
+type Policy struct {
+	MaxAttempts int     // total attempts, including the first (<=1 disables retry)
+	BaseDelay   float64 // backoff before the second attempt, seconds
+	MaxDelay    float64 // backoff ceiling, seconds
+	Multiplier  float64 // backoff growth per attempt (>= 1)
+	Jitter      float64 // fraction of the delay randomized away, [0, 1]
+}
+
+// DefaultPolicy is the stack-wide service-call policy: five attempts with
+// 0.5 s → 8 s exponential backoff and 25% jitter. Total worst-case wait is
+// under half a minute — long enough to ride out a short outage, short
+// enough that a permanent one surfaces before the contract monitor's
+// horizon.
+func DefaultPolicy() Policy {
+	return Policy{MaxAttempts: 5, BaseDelay: 0.5, MaxDelay: 8, Multiplier: 2, Jitter: 0.25}
+}
+
+// Backoff returns the wait in seconds before attempt (1-based: Backoff(1)
+// precedes the second attempt), drawing jitter from rng. A nil rng yields
+// the deterministic un-jittered delay.
+func (po Policy) Backoff(attempt int, rng *rand.Rand) float64 {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := po.BaseDelay
+	mult := po.Multiplier
+	if mult < 1 {
+		mult = 1
+	}
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if po.MaxDelay > 0 && d >= po.MaxDelay {
+			d = po.MaxDelay
+			break
+		}
+	}
+	if po.MaxDelay > 0 && d > po.MaxDelay {
+		d = po.MaxDelay
+	}
+	if rng != nil && po.Jitter > 0 && d > 0 {
+		j := po.Jitter
+		if j > 1 {
+			j = 1
+		}
+		// Deterministic jitter in [1-j, 1]: never longer than the nominal
+		// delay, so MaxDelay stays an upper bound.
+		d *= 1 - j*rng.Float64()
+	}
+	return d
+}
+
+// Retrier executes service calls under a Policy, sleeping virtual time
+// between attempts and emitting one service.retry telemetry event per
+// re-attempt.
+type Retrier struct {
+	sim    *simcore.Sim
+	policy Policy
+	rng    *rand.Rand
+
+	retries int // re-attempts performed
+	gaveUp  int // calls that exhausted every attempt
+}
+
+// NewRetrier creates a retrier over sim with the given policy and jitter
+// source. A nil rng disables jitter (still fully deterministic).
+func NewRetrier(sim *simcore.Sim, policy Policy, rng *rand.Rand) *Retrier {
+	if policy.MaxAttempts < 1 {
+		policy.MaxAttempts = 1
+	}
+	return &Retrier{sim: sim, policy: policy, rng: rng}
+}
+
+// Policy returns the retrier's policy.
+func (r *Retrier) Policy() Policy { return r.policy }
+
+// Retries returns how many re-attempts the retrier has performed.
+func (r *Retrier) Retries() int {
+	if r == nil {
+		return 0
+	}
+	return r.retries
+}
+
+// GaveUp returns how many calls exhausted all attempts.
+func (r *Retrier) GaveUp() int {
+	if r == nil {
+		return 0
+	}
+	return r.gaveUp
+}
+
+// Do runs call from process p, retrying on retryable errors per the policy.
+// op names the call in telemetry ("gis.query", "ibp.store"). A nil Retrier
+// runs the call once with no retry. The returned error is the last
+// attempt's, wrapped with the attempt count when retries were exhausted.
+func (r *Retrier) Do(p *simcore.Proc, op string, call func() error) error {
+	if r == nil {
+		return call()
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = call()
+		if err == nil || !faultinject.Retryable(err) || attempt >= r.policy.MaxAttempts {
+			break
+		}
+		wait := r.policy.Backoff(attempt, r.rng)
+		r.retries++
+		if tel := r.sim.Telemetry(); tel != nil {
+			tel.Counter("resilience", "retries").Inc()
+			tel.Emit(telemetry.Event{
+				Type: telemetry.EvServiceRetry, Comp: "resilience", Name: op,
+				Args: []telemetry.Arg{
+					telemetry.I("attempt", attempt),
+					telemetry.F("backoff", wait),
+				},
+			})
+		}
+		r.sim.Tracef("resilience: %s attempt %d failed (%v), retrying in %.3fs", op, attempt, err, wait)
+		if serr := p.Sleep(wait); serr != nil {
+			return serr // interrupted while backing off: surface the interrupt
+		}
+	}
+	if err != nil && faultinject.Retryable(err) {
+		r.gaveUp++
+		if tel := r.sim.Telemetry(); tel != nil {
+			tel.Counter("resilience", "gave_up").Inc()
+		}
+		return fmt.Errorf("after %d attempts: %w", r.policy.MaxAttempts, err)
+	}
+	return err
+}

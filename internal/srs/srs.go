@@ -14,18 +14,24 @@ import (
 	"fmt"
 	"sort"
 
+	"grads/internal/faultinject"
 	"grads/internal/ibp"
 	"grads/internal/mpi"
+	"grads/internal/resilience"
 	"grads/internal/simcore"
 	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
-// Ckpt records one stored checkpoint blob.
+// Ckpt records one stored checkpoint blob. Replica, when non-nil, names a
+// second depot holding a copy: the restore path falls back to it when the
+// primary depot's node is down, which is what makes recovery from the crash
+// of a checkpoint-holding node possible at all.
 type Ckpt struct {
-	Key   string
-	Depot *topology.Node
-	Bytes float64
+	Key     string
+	Depot   *topology.Node
+	Replica *topology.Node
+	Bytes   float64
 }
 
 // RSS is the Runtime Support System daemon state. It is created where the
@@ -43,9 +49,13 @@ type RSS struct {
 	stopSignal    *simcore.Signal
 	stoppedRanks  int
 	expectedRanks int
+
+	replicate bool
+	retrier   *resilience.Retrier
 }
 
-// NewRSS creates the RSS daemon for one application execution.
+// NewRSS creates the RSS daemon for one application execution. Checkpoint
+// replication to a buddy depot is on by default (see SetReplication).
 func NewRSS(sim *simcore.Sim, storage *ibp.System, appName string) *RSS {
 	return &RSS{
 		sim:        sim,
@@ -53,8 +63,19 @@ func NewRSS(sim *simcore.Sim, storage *ibp.System, appName string) *RSS {
 		app:        appName,
 		ckpts:      make(map[string]Ckpt),
 		stopSignal: simcore.NewSignal(sim),
+		replicate:  true,
 	}
 }
+
+// SetReplication enables or disables the buddy-depot copy of every
+// checkpoint. Without replication a crash of a node holding checkpoint
+// data makes the data unreachable and recovery from that crash impossible.
+func (r *RSS) SetReplication(on bool) { r.replicate = on }
+
+// SetRetrier installs a retry policy around the RSS's IBP operations, so
+// transient storage-service outages stall checkpoints instead of failing
+// the application.
+func (r *RSS) SetRetrier(rt *resilience.Retrier) { r.retrier = rt }
 
 // RequestStop asks every attached process to checkpoint and terminate at
 // its next SRS check point (called by the rescheduler).
@@ -107,6 +128,30 @@ func (r *RSS) ackStopped() {
 // register records a stored checkpoint.
 func (r *RSS) register(c Ckpt) { r.ckpts[c.Key] = c }
 
+// replicateAsync spawns a data-mover process copying the checkpoint just
+// written on node to a buddy depot. The replica is attached to the
+// registered checkpoint only if the entry is still the same epoch when the
+// copy completes (a newer write or a prune invalidates the copy).
+func (r *RSS) replicateAsync(key string, node *topology.Node, bytes float64) {
+	r.sim.Spawn("srs-replica:"+key, func(cp *simcore.Proc) {
+		buddy := r.storage.ReplicaFor(node)
+		if buddy == nil {
+			return
+		}
+		if err := r.storage.Store(cp, node, buddy, key, bytes); err != nil {
+			r.sim.Tracef("srs: replica of %s skipped (%v)", key, err)
+			return
+		}
+		c, ok := r.ckpts[key]
+		if !ok || c.Depot != node || c.Bytes != bytes {
+			r.storage.Delete(buddy.Name(), key) // stale copy, drop it
+			return
+		}
+		c.Replica = buddy
+		r.ckpts[key] = c
+	})
+}
+
 // Checkpoints returns all registered checkpoints sorted by key.
 func (r *RSS) Checkpoints() []Ckpt {
 	out := make([]Ckpt, 0, len(r.ckpts))
@@ -131,6 +176,9 @@ func (r *RSS) TotalCheckpointBytes() float64 {
 func (r *RSS) DropCheckpoints() {
 	for k, c := range r.ckpts {
 		r.storage.Delete(c.Depot.Name(), k)
+		if c.Replica != nil {
+			r.storage.Delete(c.Replica.Name(), k)
+		}
 		delete(r.ckpts, k)
 	}
 }
@@ -146,6 +194,9 @@ func (r *RSS) PruneExcept(keep []string) {
 	for k, c := range r.ckpts {
 		if !keepSet[k] {
 			r.storage.Delete(c.Depot.Name(), k)
+			if c.Replica != nil {
+				r.storage.Delete(c.Replica.Name(), k)
+			}
 			delete(r.ckpts, k)
 		}
 	}
@@ -177,16 +228,30 @@ func (l *Lib) CheckpointReadTime() float64 { return l.readTime }
 
 // StoreCheckpoint writes bytes of user data under key to the IBP depot on
 // the process's own node ("checkpoints are written to IBP storage on local
-// disks") and registers it with the RSS.
+// disks"), copies it to a buddy depot when replication is on, and registers
+// it with the RSS. A failed replica write degrades to an unreplicated
+// checkpoint rather than failing the application.
 func (l *Lib) StoreCheckpoint(key string, bytes float64) error {
 	node := l.ctx.Node()
+	p := l.ctx.Proc()
 	start := l.ctx.Now()
-	err := l.rss.storage.Store(l.ctx.Proc(), node, node, key, bytes)
+	err := l.rss.retrier.Do(p, "ibp.store", func() error {
+		return l.rss.storage.Store(p, node, node, key, bytes)
+	})
 	l.writeTime += l.ctx.Now() - start
 	if err != nil {
 		return err
 	}
 	l.rss.register(Ckpt{Key: key, Depot: node, Bytes: bytes})
+	if l.rss.replicate {
+		// Copy to a buddy depot asynchronously (an IBP data mover), off
+		// the application's critical path: checkpoint writes stay
+		// local-disk cheap (Figure 3), while the replica is what restores
+		// fall back to when the writer's node later crashes. Until the
+		// copy lands there is a window with no replica — exactly the
+		// vulnerability window a real lazy replication scheme has.
+		l.rss.replicateAsync(key, node, bytes)
+	}
 	if tel := l.rss.sim.Telemetry(); tel != nil {
 		tel.Counter("srs", "ckpt_writes").Inc()
 		tel.Histogram("srs", "ckpt_write_seconds").Observe(l.ctx.Now() - start)
@@ -215,10 +280,22 @@ func (l *Lib) RestoreShare(myRank, nProcs int) (float64, error) {
 	}
 	start := l.ctx.Now()
 	defer func() { l.readTime += l.ctx.Now() - start }()
+	p := l.ctx.Proc()
 	total := 0.0
 	for _, c := range l.rss.Checkpoints() {
+		c := c
 		share := c.Bytes / float64(nProcs)
-		n, err := l.rss.storage.RetrievePartial(l.ctx.Proc(), c.Depot, l.ctx.Node(), c.Key, share)
+		var n float64
+		err := l.rss.retrier.Do(p, "ibp.retrieve", func() error {
+			var rerr error
+			n, rerr = l.rss.storage.RetrievePartial(p, c.Depot, l.ctx.Node(), c.Key, share)
+			// Primary depot unreachable (its node crashed): fall back to
+			// the replica before burning a retry attempt.
+			if rerr != nil && faultinject.Retryable(rerr) && c.Replica != nil && !c.Replica.Down() {
+				n, rerr = l.rss.storage.RetrievePartial(p, c.Replica, l.ctx.Node(), c.Key, share)
+			}
+			return rerr
+		})
 		if err != nil {
 			return total, err
 		}

@@ -45,6 +45,19 @@ const (
 	// MPI process swapping (§4.2).
 	EvSwapOrder EventType = "swap.order"
 	EvSwapDone  EventType = "swap.done"
+
+	// Fault injection (chaos layer): one event per injected fault and one
+	// per scheduled recovery.
+	EvFaultInject  EventType = "fault.inject"
+	EvFaultRecover EventType = "fault.recover"
+
+	// Heartbeat failure detector.
+	EvDetectorSuspect EventType = "detector.suspect"
+
+	// Resilience layer: retries against degraded grid services and
+	// graceful-degradation transitions.
+	EvServiceRetry    EventType = "service.retry"
+	EvServiceDegraded EventType = "service.degraded"
 )
 
 // Arg is one ordered key/value attachment on an event. Values should be

@@ -1,0 +1,78 @@
+package topology
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"grads/internal/netsim"
+	"grads/internal/simcore"
+)
+
+func faultGrid(sim *simcore.Sim) *Grid {
+	g := NewGrid(sim)
+	g.AddSite("A", 1e8, 1e-4)
+	g.AddSite("B", 1e8, 1e-4)
+	g.Connect("A", "B", 1.25e6, 0.011)
+	g.AddNode(NodeSpec{Name: "a1", Site: "A", MHz: 1000, FlopsPerCycle: 1})
+	g.AddNode(NodeSpec{Name: "b1", Site: "B", MHz: 1000, FlopsPerCycle: 1})
+	return g
+}
+
+func TestSetNodeDownNotifiesWatchers(t *testing.T) {
+	sim := simcore.New(1)
+	g := faultGrid(sim)
+
+	type change struct {
+		node string
+		down bool
+	}
+	var seen []change
+	unsub := g.OnNodeStateChange(func(n *Node, down bool) {
+		seen = append(seen, change{n.Name(), down})
+	})
+
+	if g.SetNodeDown("nosuch", true) {
+		t.Fatal("unknown node accepted")
+	}
+	if !g.SetNodeDown("a1", true) || !g.Node("a1").Down() {
+		t.Fatal("crash not applied")
+	}
+	// Idempotent: an unchanged state is a no-op with no duplicate notify.
+	if !g.SetNodeDown("a1", true) {
+		t.Fatal("repeated crash rejected")
+	}
+	if !g.SetNodeDown("a1", false) || g.Node("a1").Down() {
+		t.Fatal("recovery not applied")
+	}
+	unsub()
+	g.SetNodeDown("a1", true) // after unsubscribe: state flips, no notify
+
+	want := []change{{"a1", true}, {"a1", false}}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("watcher saw %v, want %v", seen, want)
+	}
+	if !g.Node("a1").Down() {
+		t.Fatal("unsubscribing must not block state changes")
+	}
+}
+
+func TestSetNodeDownSeversFlows(t *testing.T) {
+	sim := simcore.New(1)
+	g := faultGrid(sim)
+	a1, b1 := g.Node("a1"), g.Node("b1")
+	var err error
+	var moved float64
+	sim.Spawn("tx", func(p *simcore.Proc) {
+		// ~80 s transfer; the crash lands mid-flight.
+		moved, err = g.Net.TransferLabeled(p, g.Route(a1, b1), 1e8, a1.Name(), b1.Name())
+	})
+	sim.At(5, func() { g.SetNodeDown("a1", true) })
+	sim.Run()
+	if !errors.Is(err, netsim.ErrEndpointDown) {
+		t.Fatalf("flow from crashed node got %v, want ErrEndpointDown", err)
+	}
+	if moved >= 1e8 {
+		t.Fatal("severed flow reported full delivery")
+	}
+}

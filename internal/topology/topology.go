@@ -88,6 +88,15 @@ type Grid struct {
 	sites map[string]*Site
 	nodes map[string]*Node
 	wan   map[string]*netsim.Link // key: siteA + "|" + siteB, lexicographic
+
+	watchers    []nodeWatcher
+	nextWatchID int
+}
+
+// nodeWatcher is one OnNodeStateChange subscription.
+type nodeWatcher struct {
+	id int
+	fn func(*Node, bool)
 }
 
 // NewGrid creates an empty Grid bound to sim.
@@ -218,4 +227,49 @@ func (g *Grid) Route(a, b *Node) []*netsim.Link {
 // network conditions.
 func (g *Grid) TransferTimeEstimate(a, b *Node, bytes float64) float64 {
 	return g.Net.TransferTimeEstimate(g.Route(a, b), bytes)
+}
+
+// OnNodeStateChange registers a callback invoked (synchronously, in
+// registration order) whenever SetNodeDown changes a node's state. The
+// returned function removes the subscription. Layers that own processes on
+// nodes (mpi.World) subscribe to learn about crashes injected by the chaos
+// layer.
+func (g *Grid) OnNodeStateChange(fn func(n *Node, down bool)) (unsubscribe func()) {
+	g.nextWatchID++
+	id := g.nextWatchID
+	g.watchers = append(g.watchers, nodeWatcher{id: id, fn: fn})
+	return func() {
+		for i, w := range g.watchers {
+			if w.id == id {
+				g.watchers = append(g.watchers[:i], g.watchers[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// SetNodeDown fails or recovers a node grid-wide: the node flag flips (so
+// GIS queries, mappers and vgrid selection skip it), active network flows
+// labeled with the node as an endpoint are killed, and every registered
+// watcher is notified. It reports whether the named node exists; calls that
+// do not change the state are no-ops.
+func (g *Grid) SetNodeDown(name string, down bool) bool {
+	n := g.nodes[name]
+	if n == nil {
+		return false
+	}
+	if n.down == down {
+		return true
+	}
+	n.down = down
+	// Watchers first: layers owning processes on the node (mpi.World) kill
+	// them with their own node-loss cause. The endpoint sweep then catches
+	// any remaining flows labeled with the node (IBP depot traffic, staging).
+	for _, w := range append([]nodeWatcher(nil), g.watchers...) {
+		w.fn(n, down)
+	}
+	if down {
+		g.Net.FailEndpoint(name, netsim.ErrEndpointDown)
+	}
+	return true
 }
