@@ -11,7 +11,11 @@
 //	gradsim -exp heuristics      # §3.1 heuristic ablation
 //	gradsim -exp swap-policies   # §4.2 swapping-policy ablation
 //	gradsim -exp opportunistic   # §4.1.1 opportunistic rescheduling
+//	gradsim -exp contention      # metascheduler contention sweep
 //	gradsim -exp all             # everything
+//
+// Run `gradsim -list` for the full registry-derived list with titles;
+// `-seed N` overrides the RNG seed of seeded experiments.
 //
 // Observability (see the README "Observability" section):
 //
@@ -43,6 +47,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run ('all' or one of: "+
 		strings.Join(grads.Experiments(), ", ")+")")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	seed := flag.Int64("seed", 0, "override the RNG seed of seeded experiments (0 keeps each experiment's default)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a formatted table (tabular experiments only)")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
 	jsonlOut := flag.String("trace-jsonl", "", "stream typed telemetry events to this file as JSON lines")
@@ -52,11 +57,24 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range grads.Experiments() {
-			fmt.Println(name)
+		infos := grads.Describe()
+		width := 0
+		for _, info := range infos {
+			if len(info.Name) > width {
+				width = len(info.Name)
+			}
+		}
+		for _, info := range infos {
+			csvMark := ""
+			if info.HasCSV {
+				csvMark = " [csv]"
+			}
+			fmt.Printf("%-*s  %s%s\n", width, info.Name, info.Title, csvMark)
 		}
 		return
 	}
+
+	grads.SetSeed(*seed)
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *jsonlOut != "" || *metrics {

@@ -39,6 +39,37 @@ const Version = "1.0.0"
 // TestDeterminism.
 func SetTelemetry(tel *telemetry.Telemetry) { experiments.SetTelemetry(tel) }
 
+// seedOverride, when non-zero, replaces the default RNG seed of every
+// seeded experiment (the gradsim -seed flag).
+var seedOverride int64
+
+// SetSeed overrides the default seed of every seeded experiment run after
+// this call. Zero restores the per-experiment defaults.
+func SetSeed(seed int64) { seedOverride = seed }
+
+// seedOr resolves an experiment's seed: the global override when set, else
+// the experiment's default.
+func seedOr(def int64) int64 {
+	if seedOverride != 0 {
+		return seedOverride
+	}
+	return def
+}
+
+// experiment is one registry entry: a one-line title (for -list and usage),
+// the report driver, and an optional CSV driver.
+type experiment struct {
+	title string
+	run   func() (string, error)
+	csv   func() (string, error)
+}
+
+// Info names one runnable experiment for listings.
+type Info struct {
+	Name, Title string
+	HasCSV      bool
+}
+
 // Experiments enumerates the runnable experiment names, each regenerating
 // one table or figure of the paper (see DESIGN.md §3 for the mapping).
 func Experiments() []string {
@@ -50,124 +81,263 @@ func Experiments() []string {
 	return names
 }
 
-// registry maps experiment names to drivers producing formatted output.
-var registry = map[string]func() (string, error){
-	"fig3": func() (string, error) {
-		rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
-		if err != nil {
-			return "", err
-		}
-		return "Figure 3 — QR stop/restart, phase breakdown per matrix size\n" +
-			"(left bar = no rescheduling, right bar = rescheduling)\n\n" +
-			experiments.FormatFig3(rows), nil
+// Describe enumerates every experiment with its one-line title, sorted by
+// name. cmd/gradsim derives its -list output and usage text from this, so
+// the CLI cannot drift from the registry.
+func Describe() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, name := range Experiments() {
+		e := registry[name]
+		out = append(out, Info{Name: name, Title: e.title, HasCSV: e.csv != nil})
+	}
+	return out
+}
+
+// registry maps experiment names to their titles and drivers.
+var registry = map[string]experiment{
+	"fig3": {
+		title: "Figure 3 — QR stop/restart phase breakdown per matrix size",
+		run: func() (string, error) {
+			rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
+			if err != nil {
+				return "", err
+			}
+			return "Figure 3 — QR stop/restart, phase breakdown per matrix size\n" +
+				"(left bar = no rescheduling, right bar = rescheduling)\n\n" +
+				experiments.FormatFig3(rows), nil
+		},
 	},
-	"fig3-decisions": func() (string, error) {
-		rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
-		if err != nil {
-			return "", err
-		}
-		return "§4.1.2 — rescheduler decisions vs ground truth per matrix size\n\n" +
-			experiments.FormatFig3Decisions(rows), nil
+	"fig3-decisions": {
+		title: "§4.1.2 — rescheduler decisions vs ground truth per matrix size",
+		run: func() (string, error) {
+			rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
+			if err != nil {
+				return "", err
+			}
+			return "§4.1.2 — rescheduler decisions vs ground truth per matrix size\n\n" +
+				experiments.FormatFig3Decisions(rows), nil
+		},
+		csv: func() (string, error) {
+			rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
+			if err != nil {
+				return "", err
+			}
+			t := &experiments.Table{Header: []string{"n", "stay_s", "migrate_s", "helps", "worstcase_migrates", "honest_migrates", "est_cost_s", "actual_cost_s"}}
+			for _, r := range rows {
+				t.Add(fmt.Sprint(r.N), fmt.Sprint(r.StayTotal), fmt.Sprint(r.MigrateTotal),
+					fmt.Sprint(r.MigrationHelps), fmt.Sprint(r.WorstCaseDecision),
+					fmt.Sprint(r.HonestDecision), fmt.Sprint(r.HonestCost), fmt.Sprint(r.ActualCost))
+			}
+			return t.CSV(), nil
+		},
 	},
-	"fig4": func() (string, error) {
-		r, err := experiments.RunFig4(experiments.DefaultFig4Config())
-		if err != nil {
-			return "", err
-		}
-		return "Figure 4 — N-body progress under process swapping (MicroGrid)\n\n" +
-			experiments.FormatFig4(r, 20), nil
+	"fig4": {
+		title: "Figure 4 — N-body progress under process swapping (MicroGrid)",
+		run: func() (string, error) {
+			r, err := experiments.RunFig4(experiments.DefaultFig4Config())
+			if err != nil {
+				return "", err
+			}
+			return "Figure 4 — N-body progress under process swapping (MicroGrid)\n\n" +
+				experiments.FormatFig4(r, 20), nil
+		},
+		csv: func() (string, error) {
+			r, err := experiments.RunFig4(experiments.DefaultFig4Config())
+			if err != nil {
+				return "", err
+			}
+			base := map[int]float64{}
+			for _, m := range r.Baseline {
+				base[m.Iter] = m.Time
+			}
+			t := &experiments.Table{Header: []string{"iteration", "t_with_swap_s", "t_no_swap_s"}}
+			for _, m := range r.Progress {
+				t.Add(fmt.Sprint(m.Iter), fmt.Sprint(m.Time), fmt.Sprint(base[m.Iter]))
+			}
+			return t.CSV(), nil
+		},
 	},
-	"eman": func() (string, error) {
-		res, err := experiments.RunEMAN(experiments.DefaultEMANConfig())
-		if err != nil {
-			return "", err
-		}
-		return "§3.3 — EMAN refinement workflow on the heterogeneous MacroGrid\n\n" +
-			experiments.FormatEMAN(res), nil
+	"eman": {
+		title: "§3.3 — EMAN refinement workflow on the heterogeneous MacroGrid",
+		run: func() (string, error) {
+			cfg := experiments.DefaultEMANConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunEMAN(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "§3.3 — EMAN refinement workflow on the heterogeneous MacroGrid\n\n" +
+				experiments.FormatEMAN(res), nil
+		},
 	},
-	"eman-dag": func() (string, error) {
-		cfg := experiments.DefaultEMANConfig()
-		wf, err := apps.EMANWorkflow(cfg.Particles, cfg.Width)
-		if err != nil {
-			return "", err
-		}
-		return "Figure 2 — EMAN refinement workflow (expanded " +
-			fmt.Sprintf("%d-way)\n\n", cfg.Width) +
-			experiments.FormatEMANDag(wf.Expand()), nil
+	"eman-dag": {
+		title: "Figure 2 — EMAN refinement workflow structure",
+		run: func() (string, error) {
+			cfg := experiments.DefaultEMANConfig()
+			wf, err := apps.EMANWorkflow(cfg.Particles, cfg.Width)
+			if err != nil {
+				return "", err
+			}
+			return "Figure 2 — EMAN refinement workflow (expanded " +
+				fmt.Sprintf("%d-way)\n\n", cfg.Width) +
+				experiments.FormatEMANDag(wf.Expand()), nil
+		},
 	},
-	"heuristics": func() (string, error) {
-		cfg := experiments.DefaultHeurConfig()
-		res, err := experiments.RunHeuristics(cfg)
-		if err != nil {
-			return "", err
-		}
-		w, err := experiments.RunRankWeights(cfg, nil)
-		if err != nil {
-			return "", err
-		}
-		return "§3.1 ablation — mapping heuristics on random workflows\n\n" +
-			experiments.FormatHeuristics(res) + "\nrank-weight sweep (w2 = data-cost weight):\n\n" +
-			experiments.FormatRankWeights(w), nil
+	"heuristics": {
+		title: "§3.1 ablation — mapping heuristics on random workflows",
+		run: func() (string, error) {
+			cfg := experiments.DefaultHeurConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunHeuristics(cfg)
+			if err != nil {
+				return "", err
+			}
+			w, err := experiments.RunRankWeights(cfg, nil)
+			if err != nil {
+				return "", err
+			}
+			return "§3.1 ablation — mapping heuristics on random workflows\n\n" +
+				experiments.FormatHeuristics(res) + "\nrank-weight sweep (w2 = data-cost weight):\n\n" +
+				experiments.FormatRankWeights(w), nil
+		},
 	},
-	"swap-policies": func() (string, error) {
-		res, err := experiments.RunSwapPolicies(experiments.DefaultFig4Config())
-		if err != nil {
-			return "", err
-		}
-		return "§4.2 ablation — swapping policies on the Figure 4 scenario\n\n" +
-			experiments.FormatSwapPolicies(res), nil
+	"swap-policies": {
+		title: "§4.2 ablation — swapping policies on the Figure 4 scenario",
+		run: func() (string, error) {
+			res, err := experiments.RunSwapPolicies(experiments.DefaultFig4Config())
+			if err != nil {
+				return "", err
+			}
+			return "§4.2 ablation — swapping policies on the Figure 4 scenario\n\n" +
+				experiments.FormatSwapPolicies(res), nil
+		},
 	},
-	"opportunistic": func() (string, error) {
-		r, err := experiments.RunOpportunistic(experiments.DefaultOpportunisticConfig())
-		if err != nil {
-			return "", err
-		}
-		return "§4.1.1 — opportunistic rescheduling onto freed resources\n\n" +
-			experiments.FormatOpportunistic(r), nil
+	"opportunistic": {
+		title: "§4.1.1 — opportunistic rescheduling onto freed resources",
+		run: func() (string, error) {
+			r, err := experiments.RunOpportunistic(experiments.DefaultOpportunisticConfig())
+			if err != nil {
+				return "", err
+			}
+			return "§4.1.1 — opportunistic rescheduling onto freed resources\n\n" +
+				experiments.FormatOpportunistic(r), nil
+		},
 	},
-	"fault": func() (string, error) {
-		res, err := experiments.RunFault(experiments.DefaultFaultConfig())
-		if err != nil {
-			return "", err
-		}
-		return "extension (paper conclusion) — fault tolerance: node crash +\n" +
-			"recovery from periodic SRS checkpoints\n\n" +
-			experiments.FormatFault(res), nil
+	"fault": {
+		title: "extension — fault tolerance: crash recovery from SRS checkpoints",
+		run: func() (string, error) {
+			res, err := experiments.RunFault(experiments.DefaultFaultConfig())
+			if err != nil {
+				return "", err
+			}
+			return "extension (paper conclusion) — fault tolerance: node crash +\n" +
+				"recovery from periodic SRS checkpoints\n\n" +
+				experiments.FormatFault(res), nil
+		},
+		csv: func() (string, error) {
+			res, err := experiments.RunFault(experiments.DefaultFaultConfig())
+			if err != nil {
+				return "", err
+			}
+			t := &experiments.Table{Header: []string{"interval_panels", "total_s", "lost_work_s", "ckpt_write_s", "restore_s", "recoveries"}}
+			for _, r := range res {
+				t.Add(fmt.Sprint(r.Interval), fmt.Sprint(r.Total), fmt.Sprint(r.LostWork),
+					fmt.Sprint(r.CkptWrite), fmt.Sprint(r.CkptRead), fmt.Sprint(r.Recoveries))
+			}
+			return t.CSV(), nil
+		},
 	},
-	"chaos": func() (string, error) {
-		res, err := experiments.RunChaos(experiments.DefaultChaosConfig())
-		if err != nil {
-			return "", err
-		}
-		return "extension — chaos study: QR and EMAN under seeded node crashes,\n" +
-			"completion time and recovery count vs node MTBF\n\n" +
-			experiments.FormatChaos(res), nil
+	"chaos": {
+		title: "extension — chaos study: completion and recovery vs node MTBF",
+		run: func() (string, error) {
+			cfg := experiments.DefaultChaosConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunChaos(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "extension — chaos study: QR and EMAN under seeded node crashes,\n" +
+				"completion time and recovery count vs node MTBF\n\n" +
+				experiments.FormatChaos(res), nil
+		},
+		csv: func() (string, error) {
+			cfg := experiments.DefaultChaosConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunChaos(cfg)
+			if err != nil {
+				return "", err
+			}
+			t := &experiments.Table{Header: []string{"workload", "mtbf_s", "completed", "total_s", "recoveries", "faults_injected", "faults_recovered", "detector_suspects", "service_retries"}}
+			for _, r := range res {
+				t.Add(r.Workload, fmt.Sprint(r.MTBF), fmt.Sprint(r.Completed), fmt.Sprint(r.Total),
+					fmt.Sprint(r.Recoveries), fmt.Sprint(r.Injected), fmt.Sprint(r.Recovered),
+					fmt.Sprint(r.Suspects), fmt.Sprint(r.Retries))
+			}
+			return t.CSV(), nil
+		},
 	},
-	"validation": func() (string, error) {
-		r, err := experiments.RunValidation(experiments.DefaultFig4Config())
-		if err != nil {
-			return "", err
-		}
-		return "§1/§4.2 — MicroGrid-vs-MacroGrid cross-validation of the swap scenario\n\n" +
-			experiments.FormatValidation(r), nil
+	"validation": {
+		title: "§1/§4.2 — MicroGrid-vs-MacroGrid cross-validation of the swap scenario",
+		run: func() (string, error) {
+			r, err := experiments.RunValidation(experiments.DefaultFig4Config())
+			if err != nil {
+				return "", err
+			}
+			return "§1/§4.2 — MicroGrid-vs-MacroGrid cross-validation of the swap scenario\n\n" +
+				experiments.FormatValidation(r), nil
+		},
 	},
-	"weather": func() (string, error) {
-		res, err := experiments.RunWeather(experiments.DefaultWeatherConfig())
-		if err != nil {
-			return "", err
-		}
-		return "ablation — why migration decisions use NWS forecasts: bursty WAN\n" +
-			"cross traffic, decisions sampled mid-spike vs a time-averaged oracle\n\n" +
-			experiments.FormatWeather(res), nil
+	"weather": {
+		title: "ablation — NWS forecasts vs mid-spike samples for migration decisions",
+		run: func() (string, error) {
+			cfg := experiments.DefaultWeatherConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunWeather(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "ablation — why migration decisions use NWS forecasts: bursty WAN\n" +
+				"cross traffic, decisions sampled mid-spike vs a time-averaged oracle\n\n" +
+				experiments.FormatWeather(res), nil
+		},
 	},
-	"economy": func() (string, error) {
-		res, err := experiments.RunEconomy(experiments.DefaultEconomyConfig())
-		if err != nil {
-			return "", err
-		}
-		return "extension (paper conclusion, cites G-commerce [24]) — Grid economies:\n" +
-			"commodities market vs auctions under fluctuating demand\n\n" +
-			experiments.FormatEconomy(res), nil
+	"economy": {
+		title: "extension — Grid economies: commodities market vs auctions",
+		run: func() (string, error) {
+			cfg := experiments.DefaultEconomyConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunEconomy(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "extension (paper conclusion, cites G-commerce [24]) — Grid economies:\n" +
+				"commodities market vs auctions under fluctuating demand\n\n" +
+				experiments.FormatEconomy(res), nil
+		},
+	},
+	"contention": {
+		title: "extension — metascheduler: contention-aware multi-application stream",
+		run: func() (string, error) {
+			cfg := experiments.DefaultContentionConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunContention(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "extension — metascheduler: a contended multi-application job stream\n" +
+				"(QR + task farms) under admission control, leases and preemptive\n" +
+				"rescheduling, swept over arrival rate x queue policy\n\n" +
+				experiments.FormatContention(res), nil
+		},
+		csv: func() (string, error) {
+			cfg := experiments.DefaultContentionConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunContention(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.ContentionTable(res).CSV(), nil
+		},
 	},
 }
 
@@ -179,7 +349,9 @@ func RunFaultSpec(spec string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	r, timeline, err := experiments.RunChaosSpec(experiments.DefaultChaosConfig(), events)
+	cfg := experiments.DefaultChaosConfig()
+	cfg.Seed = seedOr(cfg.Seed)
+	r, timeline, err := experiments.RunChaosSpec(cfg, events)
 	if err != nil {
 		return "", err
 	}
@@ -191,85 +363,28 @@ func RunFaultSpec(spec string) (string, error) {
 // RunExperiment regenerates one experiment by name and returns its
 // formatted report.
 func RunExperiment(name string) (string, error) {
-	fn, ok := registry[name]
+	e, ok := registry[name]
 	if !ok {
 		return "", fmt.Errorf("grads: unknown experiment %q (have: %s)",
 			name, strings.Join(Experiments(), ", "))
 	}
-	return fn()
-}
-
-// csvRegistry maps the tabular experiments to CSV producers (for plotting
-// the figures with external tools).
-var csvRegistry = map[string]func() (string, error){
-	"fig3-decisions": func() (string, error) {
-		rows, err := experiments.RunFig3(experiments.DefaultFig3Config())
-		if err != nil {
-			return "", err
-		}
-		t := &experiments.Table{Header: []string{"n", "stay_s", "migrate_s", "helps", "worstcase_migrates", "honest_migrates", "est_cost_s", "actual_cost_s"}}
-		for _, r := range rows {
-			t.Add(fmt.Sprint(r.N), fmt.Sprint(r.StayTotal), fmt.Sprint(r.MigrateTotal),
-				fmt.Sprint(r.MigrationHelps), fmt.Sprint(r.WorstCaseDecision),
-				fmt.Sprint(r.HonestDecision), fmt.Sprint(r.HonestCost), fmt.Sprint(r.ActualCost))
-		}
-		return t.CSV(), nil
-	},
-	"fig4": func() (string, error) {
-		r, err := experiments.RunFig4(experiments.DefaultFig4Config())
-		if err != nil {
-			return "", err
-		}
-		base := map[int]float64{}
-		for _, m := range r.Baseline {
-			base[m.Iter] = m.Time
-		}
-		t := &experiments.Table{Header: []string{"iteration", "t_with_swap_s", "t_no_swap_s"}}
-		for _, m := range r.Progress {
-			t.Add(fmt.Sprint(m.Iter), fmt.Sprint(m.Time), fmt.Sprint(base[m.Iter]))
-		}
-		return t.CSV(), nil
-	},
-	"fault": func() (string, error) {
-		res, err := experiments.RunFault(experiments.DefaultFaultConfig())
-		if err != nil {
-			return "", err
-		}
-		t := &experiments.Table{Header: []string{"interval_panels", "total_s", "lost_work_s", "ckpt_write_s", "restore_s", "recoveries"}}
-		for _, r := range res {
-			t.Add(fmt.Sprint(r.Interval), fmt.Sprint(r.Total), fmt.Sprint(r.LostWork),
-				fmt.Sprint(r.CkptWrite), fmt.Sprint(r.CkptRead), fmt.Sprint(r.Recoveries))
-		}
-		return t.CSV(), nil
-	},
-	"chaos": func() (string, error) {
-		res, err := experiments.RunChaos(experiments.DefaultChaosConfig())
-		if err != nil {
-			return "", err
-		}
-		t := &experiments.Table{Header: []string{"workload", "mtbf_s", "completed", "total_s", "recoveries", "faults_injected", "faults_recovered", "detector_suspects", "service_retries"}}
-		for _, r := range res {
-			t.Add(r.Workload, fmt.Sprint(r.MTBF), fmt.Sprint(r.Completed), fmt.Sprint(r.Total),
-				fmt.Sprint(r.Recoveries), fmt.Sprint(r.Injected), fmt.Sprint(r.Recovered),
-				fmt.Sprint(r.Suspects), fmt.Sprint(r.Retries))
-		}
-		return t.CSV(), nil
-	},
+	return e.run()
 }
 
 // RunExperimentCSV regenerates one tabular experiment as CSV. Experiments
 // without a CSV form return an error listing those that have one.
 func RunExperimentCSV(name string) (string, error) {
-	fn, ok := csvRegistry[name]
-	if !ok {
-		names := make([]string, 0, len(csvRegistry))
-		for n := range csvRegistry {
-			names = append(names, n)
+	e, ok := registry[name]
+	if !ok || e.csv == nil {
+		var names []string
+		for _, info := range Describe() {
+			if info.HasCSV {
+				names = append(names, info.Name)
+			}
 		}
-		sort.Strings(names)
 		return "", fmt.Errorf("grads: no CSV form for %q (have: %s)", name, strings.Join(names, ", "))
 	}
-	return fn()
+	return e.csv()
 }
 
 // RunAll regenerates every experiment, concatenating the reports.

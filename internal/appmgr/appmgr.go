@@ -37,6 +37,11 @@ const (
 	PhaseLostWork          = "lost work" // execution discarded by a failure
 )
 
+// ErrNoResources reports that the mapper found no usable nodes in the
+// pool — every candidate is down or the lease has been reclaimed. The
+// metascheduler treats this as "requeue the job", not a fatal error.
+var ErrNoResources = errors.New("appmgr: no usable resources in pool")
+
 // PhaseRecord times one phase of one execution segment.
 type PhaseRecord struct {
 	Run      int // 1 for the initial execution, 2 after the first restart...
@@ -85,6 +90,13 @@ type Manager struct {
 	// rescheduler decided where to restart).
 	NextNodes []*topology.Node
 
+	// PoolFn, when set, re-derives the resource pool at the start of every
+	// execution segment, overriding the pool passed to Execute. Leased
+	// pools change between segments: the metascheduler reclaims crashed
+	// nodes and shrinks leases when it preempts a job, and the shrunken
+	// pool must be what the next segment's resource selection sees.
+	PoolFn func() []*topology.Node
+
 	// RSS, when set, is cleared between segments so the restarted
 	// execution does not immediately see the stale stop request.
 	RSS *srs.RSS
@@ -126,6 +138,9 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 	restartNext := false
 	for run := 1; ; run++ {
 		rep.Runs = run
+		if m.PoolFn != nil {
+			pool = m.PoolFn()
+		}
 		record := func(name string, d float64) {
 			rep.Phases = append(rep.Phases, PhaseRecord{Run: run, Name: name, Duration: d})
 			if tel := m.Sim.Telemetry(); tel != nil {
@@ -150,7 +165,7 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 			nodes = app.Mapper().Map(livePool(pool), m.avail)
 		}
 		if len(nodes) == 0 {
-			return rep, fmt.Errorf("appmgr: mapper selected no resources for %s", app.Name())
+			return rep, fmt.Errorf("%w: mapper selected none for %s", ErrNoResources, app.Name())
 		}
 		if err := p.Sleep(2); err != nil { // MDS/NWS queries
 			return rep, err

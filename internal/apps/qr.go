@@ -107,6 +107,14 @@ func (q *QR) Pkg() binder.Package {
 // best single-site set (up to maxProcs nodes) by forecast lock-step rate.
 func (q *QR) Mapper() cop.Mapper { return cop.GreedyMapper{Width: q.maxProcs, SameSite: true} }
 
+// SetMaxProcs bounds the mapper's width. The metascheduler uses it to fit
+// the COP to a requested lease size instead of the default 8.
+func (q *QR) SetMaxProcs(k int) {
+	if k > 0 {
+		q.maxProcs = k
+	}
+}
+
 // Model implements cop.COP.
 func (q *QR) Model() cop.PerformanceModel { return q }
 

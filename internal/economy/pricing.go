@@ -1,0 +1,57 @@
+package economy
+
+// SpotPricer posts a single tâtonnement-adjusted price per node-round for a
+// shared resource pool. It is the priority-pricing half of the G-commerce
+// formulation applied to queue ordering: each queued job carries a bid (its
+// willingness to pay per node-round), and its effective priority is the
+// bid measured against the current posted price. When the pool is
+// oversubscribed the price rises, so low-bid jobs sink relative to high-bid
+// ones exactly when contention makes ordering matter; when the pool idles
+// the price decays back to the floor and FIFO-like ordering re-emerges.
+type SpotPricer struct {
+	// Floor is the production-cost floor the price never drops below.
+	Floor float64
+	// Alpha is the adjustment rate per observation (fraction of price per
+	// unit of relative excess demand), as in CommodityMarket.
+	Alpha float64
+
+	price float64
+}
+
+// NewSpotPricer creates a pricer starting at the floor plus the same small
+// margin the commodities market opens with.
+func NewSpotPricer(floor, alpha float64) *SpotPricer {
+	if floor <= 0 {
+		floor = 1
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.1
+	}
+	return &SpotPricer{Floor: floor, Alpha: alpha, price: floor * 1.1}
+}
+
+// Price returns the current posted price per node-round.
+func (sp *SpotPricer) Price() float64 { return sp.price }
+
+// Observe feeds one round's demand (queued node demand) and supply (free
+// nodes) into the tâtonnement adjustment, floored at the cost floor.
+func (sp *SpotPricer) Observe(demand, supply int) {
+	if supply < 1 {
+		supply = 1
+	}
+	excess := float64(demand-supply) / float64(supply)
+	sp.price *= 1 + sp.Alpha*excess
+	if sp.price < sp.Floor {
+		sp.price = sp.Floor
+	}
+}
+
+// EffectivePriority converts a job's bid into its queue priority under the
+// posted price: how many node-rounds' worth of the current price the job is
+// willing to pay. Non-positive bids rank at zero.
+func (sp *SpotPricer) EffectivePriority(bid float64) float64 {
+	if bid <= 0 {
+		return 0
+	}
+	return bid / sp.price
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"grads/internal/simcore"
@@ -52,22 +53,40 @@ func TestParseSpecRoundTrip(t *testing.T) {
 }
 
 func TestParseSpecErrors(t *testing.T) {
-	for _, bad := range []string{
-		"",                    // empty
-		"crash:100:a1",        // missing '@'
-		"explode@10:a1",       // unknown kind
-		"crash@40-10:a1",      // end before start
-		"crash@-5:a1",         // negative time
-		"crash@10:",           // empty target
-		"slow@10:a1",          // missing value
-		"slow@10:a1:x",        // bad value
-		"slow@10:a1:-2",       // non-positive value
-		"linkslow@10:lan:A:2", // factor outside (0,1]
-		"crash@ten:a1",        // bad time
-	} {
-		if _, err := ParseSpec(bad); err == nil {
-			t.Errorf("ParseSpec(%q) accepted a bad spec", bad)
-		}
+	cases := []struct {
+		name, spec, wantErr string
+	}{
+		{"empty spec", "", "empty fault spec"},
+		{"blank events only", " ; ; ", "empty fault spec"},
+		{"missing at-sign", "crash:100:a1", "missing '@'"},
+		{"unknown kind", "explode@10:a1", `unknown kind "explode"`},
+		{"reversed window", "crash@40-10:a1", "end 10 not after start 40"},
+		{"zero-length window", "crash@40-40:a1", "not after start"},
+		// The leading '-' reads as a window separator, so the start is empty.
+		{"negative time", "crash@-5:a1", `bad start time ""`},
+		{"missing target separator", "crash@100", "missing ':' before target"},
+		{"empty target", "crash@10:", "empty target"},
+		{"empty value-kind target", "slow@10::4", "empty target"},
+		{"missing value", "slow@10:a1", "needs a ':value' suffix"},
+		{"malformed value", "slow@10:a1:x", `bad value "x"`},
+		{"non-positive value", "slow@10:a1:-2", "must be positive"},
+		{"linkslow factor above 1", "linkslow@10:lan:A:2", "outside (0,1]"},
+		{"linkslow factor zero", "linkslow@10:lan:A:0", "outside (0,1]"},
+		{"malformed time", "crash@ten:a1", `bad time "ten"`},
+		{"malformed start of window", "crash@x-10:a1", `bad start time "x"`},
+		{"malformed end of window", "crash@10-y:a1", `bad end time "y"`},
+		{"bad event among good ones", "crash@10:a1;lag@5:gis", "needs a ':value' suffix"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			events, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) accepted a bad spec: %v", tc.spec, events)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseSpec(%q) error %q does not mention %q", tc.spec, err, tc.wantErr)
+			}
+		})
 	}
 }
 

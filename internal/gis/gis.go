@@ -136,6 +136,27 @@ func (s *Service) QueryResources(p *simcore.Proc, f Filter) ([]*topology.Node, e
 // from kernel/event context.
 func (s *Service) SelectResources(f Filter) []*topology.Node { return s.selectNodes(f) }
 
+// Snapshot is a point-in-time shared view of the live resource pool: the
+// matching nodes plus the virtual time the view was taken. Brokers that
+// arbitrate between competing applications (the metascheduler) admit
+// against one snapshot per decision round, so every queued job in a round
+// sees the same pool.
+type Snapshot struct {
+	Time  float64
+	Nodes []*topology.Node // live matching nodes, sorted by name
+}
+
+// TakeSnapshot answers one directory query with a consistent view of the
+// pool. The calling process pays a single QueryDelay regardless of pool
+// size (the MDS answers the whole query in one round trip).
+func (s *Service) TakeSnapshot(p *simcore.Proc, f Filter) (*Snapshot, error) {
+	nodes, err := s.QueryResources(p, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Snapshot{Time: s.sim.Now(), Nodes: nodes}, nil
+}
+
 func (s *Service) selectNodes(f Filter) []*topology.Node {
 	var out []*topology.Node
 	for _, n := range s.grid.Nodes() {

@@ -1,0 +1,741 @@
+package metasched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"grads/internal/appmgr"
+	"grads/internal/binder"
+	"grads/internal/cop"
+	"grads/internal/economy"
+	"grads/internal/gis"
+	"grads/internal/ibp"
+	"grads/internal/nws"
+	"grads/internal/rescheduler"
+	"grads/internal/resilience"
+	"grads/internal/simcore"
+	"grads/internal/srs"
+	"grads/internal/telemetry"
+	"grads/internal/topology"
+)
+
+// JobState is the lifecycle position of a submitted job.
+type JobState int
+
+const (
+	JobPending JobState = iota // submitted, arrival not yet due
+	JobQueued                  // in the admission queue
+	JobRunning                 // on a lease, under its application manager
+	JobDone
+	JobFailed
+)
+
+// String names the state for reports.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// AppContext is what a job's COP factory gets to build the application
+// against: the shared Grid services plus the job's own private SRS instance
+// (each job checkpoints under its own namespace and stop flag).
+type AppContext struct {
+	Grid    *topology.Grid
+	Binder  *binder.Binder
+	Weather *nws.Service
+	RSS     *srs.RSS
+}
+
+// JobSpec describes one submission in the stream.
+type JobSpec struct {
+	Name   string
+	Kind   string  // app class for reports ("qr", "task-farm", ...)
+	Submit float64 // virtual arrival time
+	// Width is the requested lease size; MinWidth (default 1) is the
+	// smallest lease the job accepts — the floor for preemptive shrinking
+	// and for relaxed admission of long-starved jobs.
+	Width    int
+	MinWidth int
+	// Bid is the job's willingness to pay per node-round; effective
+	// priority is Bid against the posted spot price.
+	Bid float64
+	// EstRuntime is the user's runtime estimate, used for backfill
+	// reservations (never for correctness).
+	EstRuntime float64
+	// Make builds the job's COP against the context. Called once, at
+	// arrival.
+	Make func(ctx *AppContext) (cop.COP, error)
+}
+
+// Job is the broker's record of one submission.
+type Job struct {
+	ID   int
+	Spec JobSpec
+
+	state   JobState
+	rss     *srs.RSS
+	cop     cop.COP
+	lease   *Lease
+	mgr     *appmgr.Manager
+	report  *appmgr.Report
+	failErr error
+
+	submitAt   float64
+	enqueuedAt float64 // last queue entry (arrival or requeue)
+	startAt    float64 // first admission
+	finishAt   float64
+	started    bool
+
+	// Preemption negotiation state: pendingKeep is the shrunken lease the
+	// victim's next segment must map onto, applied lazily by PoolFn once
+	// the old segment has checkpointed and stopped.
+	pendingKeep    []*topology.Node
+	preemptPending bool
+	preemptions    int // shrinks actually applied
+	requeues       int
+}
+
+// State returns the job's lifecycle position.
+func (j *Job) State() JobState { return j.state }
+
+// Report returns the application manager's phase report (nil until done).
+func (j *Job) Report() *appmgr.Report { return j.report }
+
+// Err returns the terminal error of a failed job.
+func (j *Job) Err() error { return j.failErr }
+
+// minWidth is the smallest acceptable lease.
+func (j *Job) minWidth() int {
+	if j.Spec.MinWidth > 0 {
+		return j.Spec.MinWidth
+	}
+	return 1
+}
+
+// nodeTracker is implemented by COPs that expose their current execution
+// segment's node set (QR and TaskFarm both do); the broker uses it to size
+// stop requests.
+type nodeTracker interface{ CurNodes() []*topology.Node }
+
+// Record is one job's flattened outcome for experiment tables.
+type Record struct {
+	Name, Kind  string
+	Width       int
+	State       string
+	Submit      float64
+	Start       float64 // first admission
+	Finish      float64
+	Wait        float64 // Start - Submit
+	Turnaround  float64 // Finish - Submit
+	Preemptions int     // lease shrinks applied to it
+	Requeues    int
+	Failures    int // node failures survived by its appmgr
+}
+
+// Config wires a Scheduler to an emulated Grid.
+type Config struct {
+	Sim     *simcore.Sim
+	Grid    *topology.Grid
+	GIS     *gis.Service
+	Storage *ibp.System
+	Binder  *binder.Binder
+	Weather *nws.Service // optional; nil degrades to static capabilities
+
+	Policy Policy
+
+	// Tick is the admission-round period (default 5s of virtual time).
+	Tick float64
+	// StarveAfter is how long the highest-priority queued job may wait
+	// before the broker negotiates a preemption for it (default 600s;
+	// non-positive disables preemption). FIFO never preempts.
+	StarveAfter float64
+	// RelaxAfter is how long a queued job waits before the broker accepts
+	// a lease down to MinWidth instead of the full Width (default
+	// 2*StarveAfter; non-positive disables relaxation).
+	RelaxAfter float64
+
+	// PriceFloor and PriceAlpha parameterize the spot pricer that converts
+	// bids into effective priorities (defaults 1 and 0.1).
+	PriceFloor float64
+	PriceAlpha float64
+
+	// Retrier, when set, is handed to every job's application manager so
+	// binds survive transient service outages.
+	Retrier *resilience.Retrier
+	// DetectorPeriod, when positive, runs a heartbeat failure detector over
+	// all nodes and triggers an immediate admission round on every detected
+	// failure or recovery (crash capacity is re-brokered at detection time,
+	// not at the next tick).
+	DetectorPeriod float64
+
+	// OnIdle, when set, fires once when the last submitted job finishes.
+	OnIdle func()
+}
+
+// Scheduler is the metascheduler: it owns the admission queue, the lease
+// ledger and the preemption negotiation over one emulated Grid.
+type Scheduler struct {
+	cfg    Config
+	leases *LeaseManager
+	resch  *rescheduler.Rescheduler
+	pricer *economy.SpotPricer
+	det    *resilience.Detector
+
+	jobs   []*Job // by ID
+	byName map[string]*Job
+	queued []*Job
+
+	proc      *simcore.Proc
+	inRound   bool
+	stopped   bool
+	remaining int
+
+	admissions     int
+	preemptOrders  int // stop-and-shrink orders issued
+	preemptApplied int // shrinks that took effect
+	violations     int // contract violations reported
+}
+
+// New creates a Scheduler. Submit jobs, then Start it before running the
+// simulation.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Sim == nil || cfg.Grid == nil || cfg.GIS == nil || cfg.Storage == nil || cfg.Binder == nil {
+		return nil, errors.New("metasched: Sim, Grid, GIS, Storage and Binder are required")
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = PolicyFIFO
+	}
+	if _, err := ParsePolicy(string(cfg.Policy)); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 5
+	}
+	if cfg.StarveAfter == 0 {
+		cfg.StarveAfter = 600
+	}
+	if cfg.RelaxAfter == 0 {
+		cfg.RelaxAfter = 2 * cfg.StarveAfter
+	}
+	s := &Scheduler{
+		cfg:    cfg,
+		leases: NewLeaseManager(cfg.Sim, cfg.Grid),
+		resch:  rescheduler.New(cfg.Grid, cfg.Weather),
+		pricer: economy.NewSpotPricer(cfg.PriceFloor, cfg.PriceAlpha),
+		byName: make(map[string]*Job),
+	}
+	return s, nil
+}
+
+// Leases exposes the lease ledger (utilization accounting, reclaim stats).
+func (s *Scheduler) Leases() *LeaseManager { return s.leases }
+
+// Price returns the current posted spot price.
+func (s *Scheduler) Price() float64 { return s.pricer.Price() }
+
+// Admissions returns how many admissions were performed (including
+// re-admissions of requeued jobs).
+func (s *Scheduler) Admissions() int { return s.admissions }
+
+// PreemptOrders and PreemptApplied count stop-and-shrink orders issued and
+// lease shrinks that actually took effect.
+func (s *Scheduler) PreemptOrders() int { return s.preemptOrders }
+
+// PreemptApplied returns how many preemptive lease shrinks were applied.
+func (s *Scheduler) PreemptApplied() int { return s.preemptApplied }
+
+// QueueDepth returns how many jobs currently wait in the queue.
+func (s *Scheduler) QueueDepth() int { return len(s.queued) }
+
+// Remaining returns how many submitted jobs have not yet finished.
+func (s *Scheduler) Remaining() int { return s.remaining }
+
+// Submit registers a job whose arrival fires at spec.Submit. Must be called
+// before the simulation reaches that time.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if spec.Name == "" {
+		return nil, errors.New("metasched: job needs a name")
+	}
+	if s.byName[spec.Name] != nil {
+		return nil, fmt.Errorf("metasched: duplicate job name %q", spec.Name)
+	}
+	if spec.Width <= 0 {
+		return nil, fmt.Errorf("metasched: job %s needs a positive width", spec.Name)
+	}
+	if spec.MinWidth > spec.Width {
+		return nil, fmt.Errorf("metasched: job %s MinWidth %d exceeds Width %d", spec.Name, spec.MinWidth, spec.Width)
+	}
+	if spec.Make == nil {
+		return nil, fmt.Errorf("metasched: job %s needs a COP factory", spec.Name)
+	}
+	job := &Job{ID: len(s.jobs) + 1, Spec: spec, state: JobPending, submitAt: spec.Submit}
+	s.jobs = append(s.jobs, job)
+	s.byName[spec.Name] = job
+	s.remaining++
+	s.cfg.Sim.At(spec.Submit, func() { s.arrive(job) })
+	return job, nil
+}
+
+// arrive materializes the job's COP and puts it in the queue.
+func (s *Scheduler) arrive(job *Job) {
+	job.rss = srs.NewRSS(s.cfg.Sim, s.cfg.Storage, job.Spec.Name)
+	if s.cfg.Retrier != nil {
+		job.rss.SetRetrier(s.cfg.Retrier)
+	}
+	app, err := job.Spec.Make(&AppContext{
+		Grid: s.cfg.Grid, Binder: s.cfg.Binder, Weather: s.cfg.Weather, RSS: job.rss,
+	})
+	if err != nil {
+		s.finish(job, nil, fmt.Errorf("metasched: building %s: %w", job.Spec.Name, err))
+		return
+	}
+	job.cop = app
+	job.state = JobQueued
+	job.enqueuedAt = s.cfg.Sim.Now()
+	s.queued = append(s.queued, job)
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Counter("metasched", "submissions").Inc()
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvJobSubmit, Comp: "metasched", Name: job.Spec.Name,
+			Args: []telemetry.Arg{
+				telemetry.S("kind", job.Spec.Kind),
+				telemetry.I("width", job.Spec.Width),
+				telemetry.F("bid", job.Spec.Bid),
+			},
+		})
+	}
+}
+
+// Start spawns the admission daemon (and the failure detector when
+// configured).
+func (s *Scheduler) Start() {
+	if s.cfg.DetectorPeriod > 0 {
+		s.det = resilience.NewDetector(s.cfg.Sim, s.cfg.Grid, s.cfg.DetectorPeriod)
+		names := make([]string, 0, len(s.cfg.Grid.Nodes()))
+		for _, n := range s.cfg.Grid.Nodes() {
+			names = append(names, n.Name())
+		}
+		s.det.Watch(names...)
+		poke := func(string, float64) { s.kick() }
+		s.det.OnFailure(poke)
+		s.det.OnRecovery(poke)
+		s.det.Start()
+	}
+	s.proc = s.cfg.Sim.Spawn("metasched", func(p *simcore.Proc) {
+		for !s.stopped && s.remaining > 0 {
+			if err := p.Sleep(s.cfg.Tick); err != nil {
+				return
+			}
+			s.round(p)
+		}
+	})
+}
+
+// Stop halts the daemon, the detector and the crash watcher.
+func (s *Scheduler) Stop() {
+	s.stopped = true
+	if s.proc != nil {
+		s.proc.Kill()
+	}
+	if s.det != nil {
+		s.det.Stop()
+	}
+	s.leases.Close()
+}
+
+// kick runs one extra admission round now (from a one-shot process, since
+// rounds query GIS).
+func (s *Scheduler) kick() {
+	if s.stopped || s.remaining == 0 {
+		return
+	}
+	s.cfg.Sim.Spawn("metasched-kick", func(p *simcore.Proc) { s.round(p) })
+}
+
+// avail builds the shared availability view for one round from a single NWS
+// snapshot, so every decision of the round ranks nodes identically.
+func (s *Scheduler) availFn(nodes []*topology.Node) func(*topology.Node) float64 {
+	if s.cfg.Weather == nil {
+		return func(n *topology.Node) float64 { return n.CPU.Availability() }
+	}
+	names := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		names = append(names, n.Name())
+	}
+	snap := s.cfg.Weather.CPUSnapshot(names)
+	return func(n *topology.Node) float64 {
+		if v, ok := snap[n.Name()]; ok {
+			return v
+		}
+		return 1
+	}
+}
+
+// round performs one admission round: shared GIS/NWS snapshot, price
+// update, admissions under the queue policy, then starvation-driven
+// preemption.
+func (s *Scheduler) round(p *simcore.Proc) {
+	if s.inRound || s.stopped {
+		return
+	}
+	s.inRound = true
+	defer func() { s.inRound = false }()
+
+	snap, err := s.cfg.GIS.TakeSnapshot(p, gis.Filter{})
+	if err != nil {
+		return // GIS outage: skip the round, leases stay as they are
+	}
+	avail := s.availFn(snap.Nodes)
+	free := s.leases.Free(snap.Nodes)
+
+	demand := 0
+	for _, j := range s.queued {
+		demand += j.Spec.Width
+	}
+	s.pricer.Observe(demand, len(free))
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Gauge("metasched", "queue_depth").Set(float64(len(s.queued)))
+		tel.Gauge("metasched", "free_nodes").Set(float64(len(free)))
+		tel.Gauge("metasched", "spot_price").Set(s.pricer.Price())
+	}
+	prio := func(j *Job) float64 { return s.pricer.EffectivePriority(j.Spec.Bid) }
+
+	// Admission loop: admit heads while they fit; under backfill, let
+	// safe smaller jobs around a blocked head.
+	for len(s.queued) > 0 {
+		order := orderQueue(s.cfg.Policy, s.queued, prio)
+		head := order[0]
+		if nodes := s.placement(head, free, avail); len(nodes) >= s.needWidth(head) {
+			if s.admit(p, head, nodes) {
+				free = s.leases.Free(snap.Nodes)
+				continue
+			}
+		}
+		if s.cfg.Policy != PolicyBackfill || len(order) == 1 {
+			break
+		}
+		shadow, extra := backfillWindow(p.Now(), len(free), s.needWidth(head), s.runningJobs())
+		admitted := false
+		for _, cand := range order[1:] {
+			nodes := s.placement(cand, free, avail)
+			if len(nodes) < s.needWidth(cand) {
+				continue
+			}
+			if p.Now()+cand.Spec.EstRuntime > shadow && len(nodes) > extra {
+				continue // would delay the head's reservation
+			}
+			if s.admit(p, cand, nodes) {
+				free = s.leases.Free(snap.Nodes)
+				admitted = true
+				break
+			}
+		}
+		if !admitted {
+			break
+		}
+	}
+
+	s.considerPreemption(p.Now(), free, avail, prio)
+}
+
+// placement maps a queued job over the free pool through its own mapper.
+func (s *Scheduler) placement(job *Job, free []*topology.Node, avail func(*topology.Node) float64) []*topology.Node {
+	return job.cop.Mapper().Map(free, avail)
+}
+
+// needWidth is the lease size the broker insists on for a job right now:
+// the full request, relaxed down to MinWidth once the job has waited past
+// RelaxAfter (so a shrunken Grid cannot strand a wide job forever).
+func (s *Scheduler) needWidth(j *Job) int {
+	w := j.Spec.Width
+	if s.cfg.RelaxAfter > 0 && s.cfg.Sim.Now()-j.enqueuedAt >= s.cfg.RelaxAfter && j.minWidth() < w {
+		return j.minWidth()
+	}
+	return w
+}
+
+// runningJobs returns the running jobs ordered by ID.
+func (s *Scheduler) runningJobs() []*Job {
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.state == JobRunning {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// admit grants the lease and hands the job to its own application manager
+// in a fresh runner process.
+func (s *Scheduler) admit(p *simcore.Proc, job *Job, nodes []*topology.Node) bool {
+	lease, err := s.leases.Grant(job.Spec.Name, nodes)
+	if err != nil {
+		return false
+	}
+	now := p.Now()
+	job.lease = lease
+	job.state = JobRunning
+	if !job.started {
+		job.started = true
+		job.startAt = now
+	}
+	s.dequeue(job)
+	s.admissions++
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Counter("metasched", "admissions").Inc()
+		tel.Histogram("metasched", "wait_seconds").Observe(now - job.enqueuedAt)
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvJobAdmit, Comp: "metasched", Name: job.Spec.Name,
+			Args: []telemetry.Arg{
+				telemetry.I("nodes", len(nodes)),
+				telemetry.F("wait", now-job.enqueuedAt),
+				telemetry.F("price", s.pricer.Price()),
+			},
+		})
+	}
+	s.cfg.Sim.Spawn(fmt.Sprintf("job:%s", job.Spec.Name), func(rp *simcore.Proc) { s.runJob(rp, job) })
+	return true
+}
+
+// dequeue removes a job from the admission queue.
+func (s *Scheduler) dequeue(job *Job) {
+	for i, j := range s.queued {
+		if j == job {
+			s.queued = append(s.queued[:i], s.queued[i+1:]...)
+			return
+		}
+	}
+}
+
+// runJob drives one admitted job through its application manager until it
+// completes, fails, or loses its whole lease (requeue).
+func (s *Scheduler) runJob(p *simcore.Proc, job *Job) {
+	mgr := appmgr.New(s.cfg.Sim, s.cfg.Grid, s.cfg.Binder, s.cfg.Weather)
+	mgr.RSS = job.rss
+	mgr.Retrier = s.cfg.Retrier
+	mgr.PoolFn = func() []*topology.Node { return s.jobPool(job) }
+	job.mgr = mgr
+
+	rep, err := mgr.Execute(p, job.cop, job.lease.Nodes())
+	if err != nil && errors.Is(err, appmgr.ErrNoResources) {
+		// The lease was reclaimed from under the job (crashes or a
+		// preemption that cut to the bone). Roll back to the last committed
+		// checkpoint and put the job back in the queue.
+		if rec, ok := job.cop.(cop.Recoverable); ok {
+			rec.Rollback()
+		}
+		s.requeue(job, rep)
+		return
+	}
+	s.finish(job, rep, err)
+}
+
+// jobPool re-derives a job's resource pool at each segment start: pending
+// preemptive shrinks are applied here — after the previous segment has
+// checkpointed and stopped, which is the only safe release point — and
+// crash-reclaimed nodes have already left the lease.
+func (s *Scheduler) jobPool(job *Job) []*topology.Node {
+	if job.pendingKeep != nil {
+		keep := job.pendingKeep
+		job.pendingKeep = nil
+		job.preemptPending = false
+		if freed := s.leases.Shrink(job.lease, keep); len(freed) > 0 {
+			job.preemptions++
+			s.preemptApplied++
+			if tel := s.cfg.Sim.Telemetry(); tel != nil {
+				tel.Counter("metasched", "preempt_applied").Inc()
+			}
+			s.kick() // re-broker the freed nodes now, not at the next tick
+		}
+	}
+	return job.lease.Nodes()
+}
+
+// requeue puts a job that lost its lease back in the queue.
+func (s *Scheduler) requeue(job *Job, rep *appmgr.Report) {
+	s.leases.Release(job.lease)
+	job.lease = nil
+	job.rss.ClearStop()
+	job.pendingKeep = nil
+	job.preemptPending = false
+	job.requeues++
+	job.state = JobQueued
+	job.enqueuedAt = s.cfg.Sim.Now()
+	if rep != nil {
+		job.report = rep
+	}
+	s.queued = append(s.queued, job)
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Counter("metasched", "requeues").Inc()
+	}
+}
+
+// finish retires a job (done or failed), releases its lease and fires
+// OnIdle after the last one.
+func (s *Scheduler) finish(job *Job, rep *appmgr.Report, err error) {
+	now := s.cfg.Sim.Now()
+	s.leases.Release(job.lease)
+	job.lease = nil
+	if rep != nil {
+		job.report = rep
+	}
+	job.finishAt = now
+	if err != nil {
+		job.state = JobFailed
+		job.failErr = err
+	} else {
+		job.state = JobDone
+	}
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Histogram("metasched", "turnaround_seconds").Observe(now - job.submitAt)
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvJobDone, Comp: "metasched", Name: job.Spec.Name,
+			Args: []telemetry.Arg{
+				telemetry.B("ok", err == nil),
+				telemetry.F("turnaround", now-job.submitAt),
+				telemetry.I("preemptions", job.preemptions),
+			},
+		})
+	}
+	s.remaining--
+	if s.remaining == 0 && s.cfg.OnIdle != nil {
+		s.cfg.OnIdle()
+	}
+}
+
+// considerPreemption checks the queue head for starvation and, when a
+// high-priority job has waited past StarveAfter under a priority policy,
+// negotiates a stop-and-shrink of a lower-priority running job with the
+// rescheduler. The victim checkpoints through SRS, its lease shrinks at the
+// next segment boundary, and the freed nodes let the starving job in.
+func (s *Scheduler) considerPreemption(now float64, free []*topology.Node, avail func(*topology.Node) float64, prio func(*Job) float64) {
+	if s.cfg.Policy == PolicyFIFO || s.cfg.StarveAfter <= 0 || len(s.queued) == 0 {
+		return
+	}
+	order := orderQueue(s.cfg.Policy, s.queued, prio)
+	head := order[0]
+	if now-head.enqueuedAt < s.cfg.StarveAfter {
+		return
+	}
+	need := s.needWidth(head) - len(free)
+	if need <= 0 {
+		return // head is blocked on shape (e.g. same-site), not capacity
+	}
+	headPrio := prio(head)
+	var victims []*rescheduler.Preemptee
+	for _, j := range s.runningJobs() {
+		if j.preemptPending || j.lease == nil || prio(j) >= headPrio {
+			continue
+		}
+		victims = append(victims, &rescheduler.Preemptee{
+			Name:     j.Spec.Name,
+			App:      j.cop.Model(),
+			Nodes:    j.lease.Nodes(),
+			MinNodes: j.minWidth(),
+			Priority: prio(j),
+		})
+	}
+	if plan := s.resch.PlanPreemption(victims, need); plan != nil {
+		s.orderShrink(s.byName[plan.Victim.Name], plan.Keep, head.Spec.Name)
+	}
+}
+
+// orderShrink issues the SRS stop order that executes a negotiated shrink.
+func (s *Scheduler) orderShrink(victim *Job, keep []*topology.Node, beneficiary string) {
+	if victim == nil || victim.state != JobRunning || victim.preemptPending {
+		return
+	}
+	victim.pendingKeep = keep
+	victim.preemptPending = true
+	s.preemptOrders++
+	expected := victim.lease.Size()
+	if tr, ok := victim.cop.(nodeTracker); ok && len(tr.CurNodes()) > 0 {
+		expected = len(tr.CurNodes())
+	}
+	victim.rss.RequestStop(expected)
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Counter("metasched", "preempt_orders").Inc()
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvJobPreempt, Comp: "metasched", Name: victim.Spec.Name,
+			Args: []telemetry.Arg{
+				telemetry.S("for", beneficiary),
+				telemetry.I("keep", len(keep)),
+			},
+		})
+	}
+}
+
+// ReportViolation is the contract-monitoring entry point: when a running
+// job's performance contract is violated (its nodes underdeliver), the
+// broker negotiates shrinking it to its MinWidth-fastest nodes so the
+// flaky remainder returns to the pool. Returns whether a shrink was
+// ordered.
+func (s *Scheduler) ReportViolation(name string) bool {
+	job := s.byName[name]
+	if job == nil || job.state != JobRunning || job.preemptPending || job.lease == nil {
+		return false
+	}
+	need := job.lease.Size() - job.minWidth()
+	if need <= 0 {
+		return false
+	}
+	v := &rescheduler.Preemptee{
+		Name:     job.Spec.Name,
+		App:      job.cop.Model(),
+		Nodes:    job.lease.Nodes(),
+		MinNodes: job.minWidth(),
+	}
+	plan := s.resch.PlanPreemption([]*rescheduler.Preemptee{v}, need)
+	if plan == nil {
+		return false
+	}
+	s.violations++
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Counter("metasched", "contract_violations").Inc()
+	}
+	s.orderShrink(job, plan.Keep, "contract")
+	return true
+}
+
+// Violations returns how many contract violations led to shrink orders.
+func (s *Scheduler) Violations() int { return s.violations }
+
+// Jobs returns every submitted job, by ID.
+func (s *Scheduler) Jobs() []*Job { return append([]*Job(nil), s.jobs...) }
+
+// Records flattens every job's outcome, ordered by ID.
+func (s *Scheduler) Records() []Record {
+	out := make([]Record, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		r := Record{
+			Name: j.Spec.Name, Kind: j.Spec.Kind, Width: j.Spec.Width,
+			State:  j.state.String(),
+			Submit: j.submitAt, Start: j.startAt, Finish: j.finishAt,
+			Preemptions: j.preemptions, Requeues: j.requeues,
+		}
+		if j.started {
+			r.Wait = j.startAt - j.submitAt
+		}
+		if j.state == JobDone || j.state == JobFailed {
+			r.Turnaround = j.finishAt - j.submitAt
+		}
+		if j.report != nil {
+			r.Failures = j.report.Failures
+		}
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,97 @@
+package metasched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy names a queue-ordering discipline for the admission queue.
+type Policy string
+
+const (
+	// PolicyFIFO admits strictly in submission order; the head of the line
+	// blocks everything behind it.
+	PolicyFIFO Policy = "fifo"
+	// PolicyPriority orders the queue by effective priority (bid against
+	// the posted spot price); the highest-priority job blocks the rest.
+	PolicyPriority Policy = "priority"
+	// PolicyBackfill is PolicyPriority with EASY backfill: while the head
+	// waits for its nodes, smaller jobs may jump ahead if they fit now and
+	// do not delay the head's reservation.
+	PolicyBackfill Policy = "priority-backfill"
+)
+
+// Policies lists every known policy in a stable order.
+func Policies() []Policy { return []Policy{PolicyFIFO, PolicyPriority, PolicyBackfill} }
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("metasched: unknown queue policy %q (want fifo, priority or priority-backfill)", s)
+}
+
+// orderQueue returns the queued jobs in admission order under the policy.
+// FIFO orders by queue-entry time (ties by job ID); the priority policies
+// order by descending effective priority, with entry time then ID breaking
+// ties so equal bids degrade to FIFO.
+func orderQueue(policy Policy, queued []*Job, prio func(*Job) float64) []*Job {
+	order := append([]*Job(nil), queued...)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if policy != PolicyFIFO {
+			pa, pb := prio(a), prio(b)
+			if pa != pb {
+				return pa > pb
+			}
+		}
+		if a.enqueuedAt != b.enqueuedAt {
+			return a.enqueuedAt < b.enqueuedAt
+		}
+		return a.ID < b.ID
+	})
+	return order
+}
+
+// backfillWindow computes the EASY reservation for the blocked head job:
+// the shadow time at which, per the running jobs' runtime estimates, enough
+// nodes will have come free for the head (headNeed nodes), and the extra
+// nodes beyond the head's need available at that time. A backfilled job is
+// safe if it either finishes before the shadow time or fits within the
+// extra nodes. When the estimates never free enough nodes the window is
+// unbounded (the reservation cannot be computed, so backfill is
+// unrestricted — matching EASY's behavior of only reserving for a
+// satisfiable head).
+func backfillWindow(now float64, free int, headNeed int, running []*Job) (shadow float64, extra int) {
+	if free >= headNeed {
+		return now, free - headNeed
+	}
+	type release struct {
+		at    float64
+		width int
+	}
+	rel := make([]release, 0, len(running))
+	for _, j := range running {
+		if j.lease == nil || j.lease.Size() == 0 {
+			continue
+		}
+		at := j.startAt + j.Spec.EstRuntime
+		if at < now {
+			at = now
+		}
+		rel = append(rel, release{at: at, width: j.lease.Size()})
+	}
+	sort.SliceStable(rel, func(i, j int) bool { return rel[i].at < rel[j].at })
+	avail := free
+	for _, r := range rel {
+		avail += r.width
+		if avail >= headNeed {
+			return r.at, avail - headNeed
+		}
+	}
+	return math.Inf(1), math.MaxInt32
+}

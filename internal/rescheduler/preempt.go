@@ -1,0 +1,165 @@
+package rescheduler
+
+import (
+	"math"
+	"sort"
+
+	"grads/internal/telemetry"
+	"grads/internal/topology"
+)
+
+// Preemptee describes one running application offered to a preemption
+// negotiation: its estimator, the lease it currently runs on, the smallest
+// lease it can make progress on, and its queue priority (victims are
+// considered lowest-priority first).
+type Preemptee struct {
+	Name     string
+	App      Estimator
+	Nodes    []*topology.Node
+	MinNodes int
+	Priority float64
+}
+
+// PreemptionPlan is the negotiated outcome: stop-and-restart Victim via SRS
+// onto the Keep subset of its lease, freeing the Freed nodes for the
+// starving job. The prediction fields quantify what the victim pays, so the
+// caller can decline plans that hurt more than they help.
+type PreemptionPlan struct {
+	Victim *Preemptee
+	Keep   []*topology.Node // shrunken lease the victim restarts on
+	Freed  []*topology.Node // nodes returned to the free pool
+
+	// VictimCost is the predicted stop-and-restart overhead (checkpoint
+	// write + read + restart), and Slowdown the predicted inflation of the
+	// victim's remaining time on the shrunken lease (>= 1).
+	VictimCost float64
+	Slowdown   float64
+}
+
+// PlanPreemption negotiates which running application to shrink so that at
+// least need nodes come free. Victims are considered in ascending priority
+// (ties by name); the first one that can free enough nodes while still
+// making progress on its shrunken lease wins. The kept subset is the
+// MinNodes fastest nodes (by forecast effective speed) of the victim's
+// best-represented site, so tightly coupled single-site applications
+// restart on a usable cluster. It returns nil when no single victim can
+// free need nodes.
+func (r *Rescheduler) PlanPreemption(victims []*Preemptee, need int) *PreemptionPlan {
+	if need <= 0 || len(victims) == 0 {
+		return nil
+	}
+	order := append([]*Preemptee(nil), victims...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Priority != order[j].Priority {
+			return order[i].Priority < order[j].Priority
+		}
+		return order[i].Name < order[j].Name
+	})
+	for _, v := range order {
+		minKeep := v.MinNodes
+		if minKeep < 1 {
+			minKeep = 1
+		}
+		if len(v.Nodes)-minKeep < need {
+			continue
+		}
+		keep := r.keepSet(v.Nodes, minKeep)
+		if len(keep) == 0 {
+			continue
+		}
+		// The victim must still make progress on the shrunken lease.
+		remaining := v.App.RemainingTime(keep, r.avail)
+		if math.IsInf(remaining, 1) {
+			continue
+		}
+		current := v.App.RemainingTime(v.Nodes, r.avail)
+		plan := &PreemptionPlan{
+			Victim:     v,
+			Keep:       keep,
+			Freed:      subtractNodes(v.Nodes, keep),
+			VictimCost: r.EstimateMigrationCost(v.App, v.Nodes, keep),
+			Slowdown:   1,
+		}
+		if current > 0 && !math.IsInf(current, 1) {
+			plan.Slowdown = remaining / current
+		}
+		r.emitPreemptionPlan(plan)
+		return plan
+	}
+	return nil
+}
+
+// keepSet picks the k fastest nodes (forecast effective speed, name-stable)
+// within the site holding most of the lease, falling back to the whole
+// lease when no site holds k nodes.
+func (r *Rescheduler) keepSet(lease []*topology.Node, k int) []*topology.Node {
+	bySite := make(map[string][]*topology.Node)
+	for _, n := range lease {
+		bySite[n.Site().Name] = append(bySite[n.Site().Name], n)
+	}
+	names := make([]string, 0, len(bySite))
+	for s := range bySite {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	best := ""
+	for _, s := range names {
+		if len(bySite[s]) >= k && (best == "" || len(bySite[s]) > len(bySite[best])) {
+			best = s
+		}
+	}
+	cand := lease
+	if best != "" {
+		cand = bySite[best]
+	}
+	speed := func(n *topology.Node) float64 { return n.Spec.Flops() * r.avail(n) }
+	sel := append([]*topology.Node(nil), cand...)
+	sort.SliceStable(sel, func(i, j int) bool {
+		si, sj := speed(sel[i]), speed(sel[j])
+		if si != sj {
+			return si > sj
+		}
+		return sel[i].Name() < sel[j].Name()
+	})
+	if len(sel) > k {
+		sel = sel[:k]
+	}
+	return sel
+}
+
+// subtractNodes returns the members of all that are not in exclude,
+// preserving order.
+func subtractNodes(all, exclude []*topology.Node) []*topology.Node {
+	skip := make(map[*topology.Node]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
+	var out []*topology.Node
+	for _, n := range all {
+		if !skip[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// emitPreemptionPlan publishes the negotiated plan into telemetry.
+func (r *Rescheduler) emitPreemptionPlan(plan *PreemptionPlan) {
+	if r.Grid == nil || r.Grid.Sim == nil {
+		return
+	}
+	tel := r.Grid.Sim.Telemetry()
+	if tel == nil {
+		return
+	}
+	tel.Counter("rescheduler", "preemption_plans").Inc()
+	tel.Emit(telemetry.Event{
+		Type: telemetry.EvJobPreempt, Comp: "rescheduler", Name: plan.Victim.Name,
+		Args: []telemetry.Arg{
+			telemetry.I("keep", len(plan.Keep)),
+			telemetry.I("freed", len(plan.Freed)),
+			telemetry.F("victim_cost", plan.VictimCost),
+			telemetry.F("slowdown", plan.Slowdown),
+		},
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"grads/internal/faultinject"
@@ -120,6 +121,39 @@ func TestDoExhaustsAttempts(t *testing.T) {
 	}
 }
 
+// TestDoExhaustionReturnsLastError: when the budget runs out, the wrapped
+// error is the final attempt's, not the first's.
+func TestDoExhaustionReturnsLastError(t *testing.T) {
+	sim := simcore.New(1)
+	r := NewRetrier(sim, Policy{MaxAttempts: 3, BaseDelay: 0.1, Multiplier: 2}, nil)
+	attempts := []error{
+		fmt.Errorf("attempt one: %w", faultinject.ErrUnavailable),
+		fmt.Errorf("attempt two: %w", faultinject.ErrUnavailable),
+		fmt.Errorf("attempt three: %w", faultinject.ErrUnavailable),
+	}
+	var calls int
+	var err error
+	sim.Spawn("caller", func(p *simcore.Proc) {
+		err = r.Do(p, "nws.forecast", func() error {
+			calls++
+			return attempts[calls-1]
+		})
+	})
+	sim.Run()
+	if calls != 3 {
+		t.Fatalf("calls=%d, want the full budget of 3", calls)
+	}
+	if !errors.Is(err, attempts[2]) {
+		t.Fatalf("exhaustion error %v does not wrap the last attempt's error", err)
+	}
+	if errors.Is(err, attempts[0]) || errors.Is(err, attempts[1]) {
+		t.Fatalf("exhaustion error %v wraps an earlier attempt's error", err)
+	}
+	if want := "after 3 attempts"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("exhaustion error %q does not mention %q", err, want)
+	}
+}
+
 func TestNilRetrierRunsOnce(t *testing.T) {
 	var r *Retrier
 	calls := 0
@@ -171,5 +205,73 @@ func TestDetectorTransitions(t *testing.T) {
 	}
 	if !d.Suspected("a1") || d.Suspected("a2") {
 		t.Fatal("suspicion state wrong after the run")
+	}
+}
+
+// TestDetectorFlappingHeartbeats: a node flapping down/up/down/up raises a
+// strictly alternating suspect → recover → suspect → recover sequence with
+// nondecreasing detection times, each suspicion cleared before the next one
+// fires, while an untouched node stays quiet.
+func TestDetectorFlappingHeartbeats(t *testing.T) {
+	sim := simcore.New(1)
+	g := detectorGrid(sim)
+	d := NewDetector(sim, g, 1)
+	d.Watch("a1", "a2")
+
+	type firing struct {
+		node string
+		down bool
+		at   float64
+	}
+	var fired []firing
+	d.OnFailure(func(n string, at float64) {
+		if d.Suspected(n) != true {
+			t.Errorf("OnFailure(%s) fired without the node marked suspected", n)
+		}
+		fired = append(fired, firing{n, true, at})
+	})
+	d.OnRecovery(func(n string, at float64) {
+		if d.Suspected(n) {
+			t.Errorf("OnRecovery(%s) fired with the suspicion still set", n)
+		}
+		fired = append(fired, firing{n, false, at})
+	})
+	d.Start()
+
+	// Each flap phase outlasts one heartbeat period so every transition is
+	// observed.
+	flaps := []struct {
+		at   float64
+		down bool
+	}{{2.2, true}, {4.2, false}, {6.2, true}, {8.2, false}}
+	for _, f := range flaps {
+		f := f
+		sim.At(f.at, func() { g.SetNodeDown("a1", f.down) })
+	}
+	sim.At(12, d.Stop)
+	sim.RunUntil(20)
+
+	if len(fired) != len(flaps) {
+		t.Fatalf("got %d firings %v, want %d (one per flap phase)", len(fired), fired, len(flaps))
+	}
+	for i, f := range fired {
+		if f.node != "a1" {
+			t.Fatalf("firing %d on %s; only a1 flapped", i, f.node)
+		}
+		if wantDown := i%2 == 0; f.down != wantDown {
+			t.Fatalf("firing %d down=%v, want strict suspect/recover alternation %v", i, f.down, fired)
+		}
+		if i > 0 && f.at <= fired[i-1].at {
+			t.Fatalf("firing %d at %g not after previous at %g", i, f.at, fired[i-1].at)
+		}
+		if lag := f.at - flaps[i].at; lag < 0 || lag > 1 {
+			t.Fatalf("firing %d detected %gs after the flap, want within one period", i, lag)
+		}
+	}
+	if d.Suspects() != 2 {
+		t.Fatalf("suspects=%d, want one per down phase", d.Suspects())
+	}
+	if d.Suspected("a1") || d.Suspected("a2") {
+		t.Fatal("no node should end the run suspected")
 	}
 }

@@ -58,6 +58,20 @@ const (
 	// graceful-degradation transitions.
 	EvServiceRetry    EventType = "service.retry"
 	EvServiceDegraded EventType = "service.degraded"
+
+	// Metascheduler job stream (metasched): submission into the queue,
+	// admission onto a lease, completion (or terminal failure), and
+	// preemption orders against running victims.
+	EvJobSubmit  EventType = "job.submit"
+	EvJobAdmit   EventType = "job.admit"
+	EvJobDone    EventType = "job.done"
+	EvJobPreempt EventType = "job.preempt"
+
+	// Resource leases (metasched): grants, releases, and reclamation of
+	// crashed nodes out of live leases.
+	EvLeaseGrant   EventType = "lease.grant"
+	EvLeaseRelease EventType = "lease.release"
+	EvLeaseReclaim EventType = "lease.reclaim"
 )
 
 // Arg is one ordered key/value attachment on an event. Values should be
