@@ -1,0 +1,120 @@
+// Command benchguard is the benchmark-regression gate for the netsim
+// solver: it parses `go test -bench` output on stdin, extracts the
+// reference and incremental timings of the 64-node/512-flow solver
+// benchmark, writes a BENCH_netsim.json report, and fails (exit 1) unless
+// the incremental solver beats the reference solver.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkSolver64Nodes512Flows' -run xxx \
+//	    -count 3 ./internal/netsim | benchguard -o BENCH_netsim.json
+//
+// With -count > 1 the best (minimum) ns/op per benchmark is kept, damping
+// scheduler noise on shared CI runners. The optional -min-speedup flag
+// raises the bar above "merely faster" (the acceptance target is 3x).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON shape of BENCH_netsim.json.
+type Report struct {
+	Benchmark       string  `json:"benchmark"`
+	ReferenceNsOp   float64 `json:"reference_ns_op"`
+	IncrementalNsOp float64 `json:"incremental_ns_op"`
+	Speedup         float64 `json:"speedup"`
+	MinSpeedup      float64 `json:"min_speedup"`
+	Pass            bool    `json:"pass"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_netsim.json", "report output path")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "fail unless incremental is at least this many times faster")
+	flag.Parse()
+
+	ref, inc := 0.0, 0.0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw bench output through
+		name, ns, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(name, "BenchmarkSolver64Nodes512FlowsReference"):
+			if ref == 0 || ns < ref {
+				ref = ns
+			}
+		case strings.HasPrefix(name, "BenchmarkSolver64Nodes512FlowsIncremental"):
+			if inc == 0 || ns < inc {
+				inc = ns
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: reading stdin:", err)
+		os.Exit(1)
+	}
+	if ref == 0 || inc == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: did not find both BenchmarkSolver64Nodes512Flows{Reference,Incremental} results")
+		os.Exit(1)
+	}
+
+	r := Report{
+		Benchmark:       "Solver64Nodes512Flows",
+		ReferenceNsOp:   ref,
+		IncrementalNsOp: inc,
+		Speedup:         ref / inc,
+		MinSpeedup:      *minSpeedup,
+		Pass:            ref/inc >= *minSpeedup && inc < ref,
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: reference %.0f ns/op, incremental %.0f ns/op, speedup %.2fx (floor %.2fx) -> %s\n",
+		ref, inc, r.Speedup, r.MinSpeedup, passWord(r.Pass))
+	if !r.Pass {
+		os.Exit(1)
+	}
+}
+
+func passWord(ok bool) string {
+	if ok {
+		return "pass"
+	}
+	return "FAIL"
+}
+
+// parseBenchLine extracts the name and ns/op of one `go test -bench` result
+// line ("BenchmarkX-8  1000  1234 ns/op  ...").
+func parseBenchLine(line string) (name string, nsOp float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return fields[0], v, true
+		}
+	}
+	return "", 0, false
+}

@@ -54,6 +54,9 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print the telemetry metric summary after the run")
 	faults := flag.String("faults", "", "run the QR workload under this fault schedule "+
 		"(events 'kind@start[-end]:target[:value]' joined by ';', e.g. 'crash@100-400:utk1;outage@10-40:nws')")
+	netRef := flag.Bool("netsim-reference", false, "use the reference (global) network solver instead of the incremental one (traces are byte-identical either way)")
+	jobs := flag.String("jobs", "", "run an explicit metascheduler submission stream "+
+		"(entries 'kind@submit:key=value,...' joined by ';', e.g. 'qr@0:n=3000,w=8,min=4,bid=40;farm@25:tasks=24,w=4,bid=3')")
 	flag.Parse()
 
 	if *list {
@@ -75,6 +78,7 @@ func main() {
 	}
 
 	grads.SetSeed(*seed)
+	grads.SetReferenceSolver(*netRef)
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *jsonlOut != "" || *metrics {
@@ -101,6 +105,8 @@ func main() {
 	var out string
 	var err error
 	switch {
+	case *jobs != "":
+		out, err = grads.RunJobStream(*jobs)
 	case *faults != "":
 		out, err = grads.RunFaultSpec(*faults)
 	case *csv:

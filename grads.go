@@ -25,6 +25,7 @@ import (
 	"grads/internal/apps"
 	"grads/internal/experiments"
 	"grads/internal/faultinject"
+	"grads/internal/metasched"
 	"grads/internal/telemetry"
 )
 
@@ -46,6 +47,13 @@ var seedOverride int64
 // SetSeed overrides the default seed of every seeded experiment run after
 // this call. Zero restores the per-experiment defaults.
 func SetSeed(seed int64) { seedOverride = seed }
+
+// SetReferenceSolver makes every experiment run after this call use the
+// reference (global progressive-filling) network solver instead of the
+// incremental one (the gradsim -netsim-reference flag). Both solvers produce
+// byte-identical telemetry traces; the knob exists so that equivalence can be
+// verified on the published experiments.
+func SetReferenceSolver(on bool) { experiments.SetReferenceSolver(on) }
 
 // seedOr resolves an experiment's seed: the global override when set, else
 // the experiment's default.
@@ -358,6 +366,26 @@ func RunFaultSpec(spec string) (string, error) {
 	return "fault injection — QR workload under explicit schedule\n\n" +
 		"schedule:\n" + timeline + "\n" +
 		experiments.FormatChaos([]experiments.ChaosResult{*r}), nil
+}
+
+// RunJobStream pushes an explicit submission stream (the gradsim -jobs
+// flag; see metasched.ParseStream for the grammar) through the
+// metascheduler broker on the QR testbed and returns the per-job outcome
+// table.
+func RunJobStream(stream string) (string, error) {
+	entries, err := metasched.ParseStream(stream)
+	if err != nil {
+		return "", err
+	}
+	cfg := experiments.DefaultJobStreamConfig(entries)
+	cfg.Seed = seedOr(cfg.Seed)
+	recs, err := experiments.RunJobStream(cfg)
+	if err != nil {
+		return "", err
+	}
+	return "job stream — metascheduler broker on the QR testbed\n\n" +
+		"stream: " + metasched.FormatStream(entries) + "\n\n" +
+		experiments.JobStreamTable(recs).String(), nil
 }
 
 // RunExperiment regenerates one experiment by name and returns its

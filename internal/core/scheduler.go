@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"grads/internal/nws"
+	"grads/internal/perfmodel"
 	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
@@ -46,12 +47,20 @@ type Scheduler struct {
 	Weather *nws.Service
 
 	Grid *topology.Grid
+
+	// Cache memoizes model evaluations across the search: the three
+	// heuristics re-rank the same (component, node) pairs against identical
+	// availabilities, and repeated searches at unchanged network state
+	// re-estimate the same transfers. Every input of a cached evaluation is
+	// part of its key, so cached and uncached searches produce bit-identical
+	// schedules. A nil Cache disables memoization.
+	Cache *perfmodel.Cache
 }
 
 // NewScheduler creates a scheduler with the paper's defaults (equal
-// weights).
+// weights) and an evaluation cache.
 func NewScheduler(grid *topology.Grid, weather *nws.Service) *Scheduler {
-	return &Scheduler{W1: 1, W2: 1, Weather: weather, Grid: grid}
+	return &Scheduler{W1: 1, W2: 1, Weather: weather, Grid: grid, Cache: perfmodel.NewCache(0)}
 }
 
 // avail returns the forecast availability of a node.
@@ -68,7 +77,23 @@ func (s *Scheduler) transferTime(a, b *topology.Node, bytes float64) float64 {
 		return 0
 	}
 	if s.Weather != nil {
+		// Forecast-backed estimates change with NWS state we cannot version,
+		// so they are not memoized.
 		return s.Weather.TransferEstimate(a, b, bytes)
+	}
+	if s.Cache != nil && s.Grid != nil && s.Grid.Net != nil {
+		// The network's state version covers every input of the estimate
+		// (flow set, background, degradations, latency factors), so equal
+		// keys guarantee equal results.
+		var sig perfmodel.Sig
+		sig.S(a.Name()).S(b.Name()).F(bytes).I(s.Grid.Net.StateVersion())
+		key := sig.String()
+		if v, ok := s.Cache.Lookup("xfer", key); ok {
+			return v
+		}
+		v := s.Grid.TransferTimeEstimate(a, b, bytes)
+		s.Cache.Store("xfer", key, v)
+		return v
 	}
 	return s.Grid.TransferTimeEstimate(a, b, bytes)
 }
@@ -90,7 +115,21 @@ func (s *Scheduler) ecost(c *Component, r *topology.Node) float64 {
 	if c.Model == nil {
 		return 0
 	}
-	return c.Model.TimeLoaded(c.ProblemSize, r, s.avail(r))
+	av := s.avail(r)
+	if s.Cache == nil {
+		return c.Model.TimeLoaded(c.ProblemSize, r, av)
+	}
+	// TimeLoaded is pure in (model, size, node spec, availability); the node
+	// spec is static, so this key covers every input.
+	var sig perfmodel.Sig
+	sig.S(c.Model.Name).S(c.Name).F(c.ProblemSize).S(r.Name()).F(av)
+	key := sig.String()
+	if v, ok := s.Cache.Lookup("ecost", key); ok {
+		return v
+	}
+	v := c.Model.TimeLoaded(c.ProblemSize, r, av)
+	s.Cache.Store("ecost", key, v)
+	return v
 }
 
 // dcostFrom estimates the data-movement cost of running c on r given the

@@ -32,6 +32,17 @@ func SetTelemetry(t *telemetry.Telemetry) { sharedTel = t }
 // Telemetry returns the installed shared hub, or nil.
 func Telemetry() *telemetry.Telemetry { return sharedTel }
 
+// referenceSolver, when set, makes every subsequently created environment run
+// the network on the reference (global progressive-filling) solver instead of
+// the incremental one. The two are trace-identical; the knob exists so the
+// equivalence can be demonstrated on the published experiments.
+var referenceSolver bool
+
+// SetReferenceSolver selects which max-min solver environments created after
+// the call use: the O(component) incremental solver (false, the default) or
+// the reference global solver (true).
+func SetReferenceSolver(on bool) { referenceSolver = on }
+
 // Env bundles one fully wired GrADS execution environment on a fresh
 // deterministic simulation.
 type Env struct {
@@ -56,6 +67,9 @@ func NewEnv(seed int64, build GridBuilder, appName string, nwsPeriod float64) *E
 		sim.SetTelemetry(sharedTel)
 	}
 	grid := build(sim)
+	if referenceSolver {
+		grid.Net.SetReferenceSolver(true)
+	}
 	g := gis.New(sim, grid)
 	g.RegisterSoftwareEverywhere(binder.LocalBinderPkg, "/opt/grads/binder")
 	for _, lib := range []string{"scalapack", "blas", "srs", "autopilot", "eman", "mpi"} {

@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSpec drives the -faults grammar parser with arbitrary input. The
+// parser must never panic, and whenever it accepts a spec the resulting
+// schedule must satisfy the injector's preconditions (finite non-negative
+// times, end after start, non-empty targets, in-range magnitudes) and
+// round-trip exactly through FormatSpec.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"crash@800:qr0",
+		"crash@800-1600:qr2",
+		"slow@100-400:qr1:4",
+		"linkslow@50-90:lan:UT:0.25",
+		"linkdown@200-260:wan:UIUC|UT",
+		"outage@10-40:nws",
+		"lag@10-40:gis:0.5",
+		"crash@800:qr0;outage@10-40:nws; slow@1:n:2 ",
+		"crash@0.0000001:a",
+		"crash@0-0.0000001:a",
+		"slow@1:n:+Inf",
+		"lag@NaN:gis:1",
+		"crash@1e3:a;crash@1E-1:b",
+		";;;",
+		"crash@@:x",
+		"linkslow@1:l:0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		events, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if len(events) == 0 {
+			t.Fatalf("accepted %q but returned no events", spec)
+		}
+		for _, e := range events {
+			if math.IsNaN(e.Start) || math.IsInf(e.Start, 0) || e.Start < 0 {
+				t.Fatalf("accepted %q with bad start %v", spec, e.Start)
+			}
+			if math.IsNaN(e.End) || math.IsInf(e.End, 0) {
+				t.Fatalf("accepted %q with non-finite end %v", spec, e.End)
+			}
+			if e.End != 0 && e.End <= e.Start {
+				t.Fatalf("accepted %q with end %v not after start %v", spec, e.End, e.Start)
+			}
+			if e.Target == "" || strings.Contains(e.Target, ";") {
+				t.Fatalf("accepted %q with bad target %q", spec, e.Target)
+			}
+			if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+				t.Fatalf("accepted %q with non-finite value %v", spec, e.Value)
+			}
+			switch {
+			case e.Kind == KindLinkSlow && (e.Value <= 0 || e.Value > 1):
+				t.Fatalf("accepted %q with linkslow factor %v outside (0,1]", spec, e.Value)
+			case kindHasValue(e.Kind) && e.Value <= 0:
+				t.Fatalf("accepted %q with non-positive value %v", spec, e.Value)
+			}
+		}
+		// Accepted schedules must survive a format/parse round trip intact:
+		// reports render schedules with FormatSpec for replay.
+		again, err := ParseSpec(FormatSpec(events))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v (formatted %q)", spec, err, FormatSpec(events))
+		}
+		if !reflect.DeepEqual(events, again) {
+			t.Fatalf("round trip of %q changed the schedule:\n was %v\n got %v", spec, events, again)
+		}
+	})
+}

@@ -58,7 +58,23 @@ func (e Event) String() string {
 	return b.String()
 }
 
-func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+// trimFloat renders a non-negative time or magnitude in fixed notation:
+// exponent form would put an 'e-07'-style dash into the spec, which the
+// start-end separator of the grammar would then split on.
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// parseFinite parses a float and rejects NaN and infinities: a schedule with
+// a non-finite time or magnitude would wedge the injector's event loop.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
 
 // kindHasValue reports whether the kind carries a magnitude argument.
 func kindHasValue(k Kind) bool {
@@ -141,16 +157,16 @@ func parseEvent(s string) (Event, error) {
 	e := Event{Kind: kind}
 	var err error
 	if dash := strings.Index(times, "-"); dash >= 0 {
-		if e.Start, err = strconv.ParseFloat(times[:dash], 64); err != nil {
+		if e.Start, err = parseFinite(times[:dash]); err != nil {
 			return Event{}, fmt.Errorf("bad start time %q", times[:dash])
 		}
-		if e.End, err = strconv.ParseFloat(times[dash+1:], 64); err != nil {
+		if e.End, err = parseFinite(times[dash+1:]); err != nil {
 			return Event{}, fmt.Errorf("bad end time %q", times[dash+1:])
 		}
 		if e.End <= e.Start {
 			return Event{}, fmt.Errorf("end %g not after start %g", e.End, e.Start)
 		}
-	} else if e.Start, err = strconv.ParseFloat(times, 64); err != nil {
+	} else if e.Start, err = parseFinite(times); err != nil {
 		return Event{}, fmt.Errorf("bad time %q", times)
 	}
 	if e.Start < 0 {
@@ -162,7 +178,7 @@ func parseEvent(s string) (Event, error) {
 		if last < 0 {
 			return Event{}, fmt.Errorf("%s needs a ':value' suffix", kind)
 		}
-		if e.Value, err = strconv.ParseFloat(target[last+1:], 64); err != nil {
+		if e.Value, err = parseFinite(target[last+1:]); err != nil {
 			return Event{}, fmt.Errorf("bad value %q", target[last+1:])
 		}
 		target = target[:last]

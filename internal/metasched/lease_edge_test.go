@@ -1,0 +1,132 @@
+package metasched
+
+import (
+	"testing"
+
+	"grads/internal/topology"
+)
+
+// TestReclaimDuringInFlightPreemption: a preemption order names a keep set,
+// but before the victim applies the shrink, one kept node and one to-be-freed
+// node crash. The shrink must converge to the live subset of the keep set,
+// never resurrect the crashed nodes, and leave the ownership accounting
+// consistent enough for the freed nodes to be granted onward.
+func TestReclaimDuringInFlightPreemption(t *testing.T) {
+	r := newRig(1)
+	lm := NewLeaseManager(r.sim, r.grid)
+	nodes := sortedByName(r.grid.Nodes())
+
+	l, err := lm.Grant("victim", nodes[:4])
+	if err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	// The broker decides to shrink the victim to nodes[:2] (the preempt
+	// order is now "in flight": the victim still has to checkpoint and stop
+	// before the shrink is applied).
+	keep := nodes[:2]
+
+	// While the order is in flight, a kept node and a doomed node crash and
+	// are reclaimed by the topology watcher.
+	r.sim.At(10, func() { r.grid.SetNodeDown(nodes[1].Name(), true) })
+	r.sim.At(10, func() { r.grid.SetNodeDown(nodes[3].Name(), true) })
+	// The victim's stop completes at t=20 and the shrink is applied with the
+	// now-stale keep set.
+	var freed []*topology.Node
+	r.sim.At(20, func() { freed = lm.Shrink(l, keep) })
+	r.sim.Run()
+
+	if lm.Reclaimed() != 2 {
+		t.Fatalf("reclaimed = %d, want 2", lm.Reclaimed())
+	}
+	// The lease must hold exactly the live kept node.
+	if l.Size() != 1 || l.Nodes()[0] != nodes[0] {
+		t.Fatalf("lease holds %v, want [%s]", l.Nodes(), nodes[0].Name())
+	}
+	// The shrink freed only the live non-kept node; the crashed ones were
+	// already reclaimed and must not be handed back to the broker.
+	if len(freed) != 1 || freed[0] != nodes[2] {
+		t.Fatalf("shrink freed %v, want [%s]", freed, nodes[2].Name())
+	}
+	if lm.LeasedNodes() != l.Size() {
+		t.Fatalf("leasedNodes = %d, lease size = %d", lm.LeasedNodes(), l.Size())
+	}
+	// Crashed nodes stay out of the free pool; the freed node is grantable.
+	for _, n := range lm.Free(nodes) {
+		if n.Down() {
+			t.Fatalf("down node %s in free pool", n.Name())
+		}
+	}
+	if _, err := lm.Grant("beneficiary", freed); err != nil {
+		t.Fatalf("granting shrink-freed node: %v", err)
+	}
+	lm.Release(l)
+	if lm.LeasedNodes() != 1 {
+		t.Fatalf("leasedNodes = %d after release, want 1 (beneficiary)", lm.LeasedNodes())
+	}
+}
+
+// TestDoubleCrashSameNodeWithinOneTick: the same node crashing twice at one
+// virtual instant — both the degenerate repeat (already down) and the
+// crash/recover/crash sequence — must reclaim the node from its lease
+// exactly once and keep the accounting consistent.
+func TestDoubleCrashSameNodeWithinOneTick(t *testing.T) {
+	r := newRig(1)
+	lm := NewLeaseManager(r.sim, r.grid)
+	nodes := sortedByName(r.grid.Nodes())
+
+	l, err := lm.Grant("a", nodes[:4])
+	if err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	reclaims := 0
+	lm.OnReclaim(func(*Lease, *topology.Node) { reclaims++ })
+
+	// Two crash events for the same node at the same instant: the second is
+	// a state no-op and must not re-reclaim.
+	r.sim.At(10, func() { r.grid.SetNodeDown(nodes[0].Name(), true) })
+	r.sim.At(10, func() { r.grid.SetNodeDown(nodes[0].Name(), true) })
+	r.sim.RunUntil(11)
+	if reclaims != 1 || lm.Reclaimed() != 1 {
+		t.Fatalf("double crash reclaimed %d/%d times, want 1", reclaims, lm.Reclaimed())
+	}
+	if l.Size() != 3 || lm.LeasedNodes() != 3 {
+		t.Fatalf("lease %d leased %d after double crash, want 3/3", l.Size(), lm.LeasedNodes())
+	}
+
+	// Crash, recover, and crash again within one tick. The recovery returns
+	// the node to the free pool — not to the lease it was reclaimed from —
+	// so the second crash finds it unleased and reclaims nothing.
+	r.sim.At(20, func() { r.grid.SetNodeDown(nodes[1].Name(), true) })
+	r.sim.At(20, func() { r.grid.SetNodeDown(nodes[1].Name(), false) })
+	r.sim.At(20, func() { r.grid.SetNodeDown(nodes[1].Name(), true) })
+	r.sim.RunUntil(21)
+	if reclaims != 2 || lm.Reclaimed() != 2 {
+		t.Fatalf("crash/recover/crash reclaimed %d/%d times, want 2", reclaims, lm.Reclaimed())
+	}
+	if l.Size() != 2 || lm.LeasedNodes() != 2 {
+		t.Fatalf("lease %d leased %d, want 2/2", l.Size(), lm.LeasedNodes())
+	}
+	// The twice-crashed node is down and must not be grantable or free.
+	if !nodes[1].Down() {
+		t.Fatal("node should have ended the tick down")
+	}
+	for _, n := range lm.Free(nodes) {
+		if n == nodes[0] || n == nodes[1] {
+			t.Fatalf("crashed node %s in free pool", n.Name())
+		}
+	}
+	if _, err := lm.Grant("b", nodes[1:2]); err == nil {
+		t.Fatal("grant of a down node accepted")
+	}
+
+	// Recover for good: the node becomes free and grantable again, while the
+	// original lease stays shrunk.
+	r.sim.At(30, func() { r.grid.SetNodeDown(nodes[1].Name(), false) })
+	r.sim.RunUntil(31)
+	if _, err := lm.Grant("b", nodes[1:2]); err != nil {
+		t.Fatalf("grant of recovered node: %v", err)
+	}
+	if l.Size() != 2 {
+		t.Fatalf("recovery changed the victim lease to %d nodes", l.Size())
+	}
+}

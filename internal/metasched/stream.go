@@ -1,0 +1,213 @@
+package metasched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// StreamEntry is one parsed submission of the -jobs stream grammar: a job
+// class, an arrival time, and its shape parameters. It carries everything a
+// JobSpec needs except the COP constructor, which the consumer binds to its
+// execution environment (see experiments.RunJobStream).
+type StreamEntry struct {
+	Kind   string  // "qr" or "farm"
+	Submit float64 // virtual arrival time, seconds
+
+	N     int // qr: matrix order
+	Tasks int // farm: independent work units
+
+	Width    int     // requested lease width
+	MinWidth int     // smallest acceptable lease (0 = broker default of 1)
+	Bid      float64 // willingness to pay per node-round
+	Est      float64 // user runtime estimate, seconds (0 = none)
+}
+
+// String renders the entry in the stream grammar.
+func (e StreamEntry) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s:", e.Kind, streamFloat(e.Submit))
+	switch e.Kind {
+	case "qr":
+		fmt.Fprintf(&b, "n=%d", e.N)
+	case "farm":
+		fmt.Fprintf(&b, "tasks=%d", e.Tasks)
+	}
+	fmt.Fprintf(&b, ",w=%d", e.Width)
+	if e.MinWidth > 0 {
+		fmt.Fprintf(&b, ",min=%d", e.MinWidth)
+	}
+	if e.Bid > 0 {
+		fmt.Fprintf(&b, ",bid=%s", streamFloat(e.Bid))
+	}
+	if e.Est > 0 {
+		fmt.Fprintf(&b, ",est=%s", streamFloat(e.Est))
+	}
+	return b.String()
+}
+
+// streamFloat renders a non-negative finite value in fixed notation (no
+// exponent), so formatted streams reparse to the identical value.
+func streamFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// FormatStream renders a submission stream in the grammar ParseStream
+// accepts (its exact inverse), so generated streams can be reported and
+// replayed.
+func FormatStream(entries []StreamEntry) string {
+	parts := make([]string, len(entries))
+	for i, e := range entries {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseStream parses the -jobs submission-stream grammar:
+//
+//	stream := entry (';' entry)*
+//	entry  := kind '@' submit ':' param (',' param)*
+//	param  := key '=' value
+//
+// where kind is qr (a tightly coupled ScaLAPACK QR factorization) or farm
+// (a loosely coupled task farm), and submit is the virtual arrival time in
+// seconds. Parameters:
+//
+//	n=N       qr only, required: matrix order (rows = cols)
+//	tasks=T   farm only, required: independent work units
+//	w=W       required: requested lease width in nodes
+//	min=M     smallest acceptable lease, 1 <= M <= W (default 1)
+//	bid=B     willingness to pay per node-round (default 1)
+//	est=S     user runtime estimate in seconds, backfill only (default:
+//	          derived from the job shape)
+//
+// Example:
+//
+//	qr@0:n=3000,w=8,min=4,bid=40;farm@25:tasks=24,w=4,bid=3
+//
+// Entries may arrive in any order; the parsed stream is sorted by submit
+// time (then kind, then shape) so execution is deterministic.
+func ParseStream(stream string) ([]StreamEntry, error) {
+	var entries []StreamEntry
+	for _, part := range strings.Split(stream, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := parseStreamEntry(part)
+		if err != nil {
+			return nil, fmt.Errorf("metasched: bad job %q: %w", part, err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("metasched: empty job stream")
+	}
+	sortStream(entries)
+	return entries, nil
+}
+
+func parseStreamEntry(s string) (StreamEntry, error) {
+	at := strings.Index(s, "@")
+	if at < 0 {
+		return StreamEntry{}, fmt.Errorf("missing '@'")
+	}
+	kind := strings.ToLower(strings.TrimSpace(s[:at]))
+	if kind != "qr" && kind != "farm" {
+		return StreamEntry{}, fmt.Errorf("unknown job kind %q (want qr or farm)", kind)
+	}
+	rest := s[at+1:]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return StreamEntry{}, fmt.Errorf("missing ':' before parameters")
+	}
+	e := StreamEntry{Kind: kind}
+	submit, err := strconv.ParseFloat(rest[:colon], 64)
+	if err != nil || math.IsNaN(submit) || math.IsInf(submit, 0) || submit < 0 {
+		return StreamEntry{}, fmt.Errorf("bad submit time %q", rest[:colon])
+	}
+	e.Submit = submit
+
+	seen := map[string]bool{}
+	for _, param := range strings.Split(rest[colon+1:], ",") {
+		eq := strings.Index(param, "=")
+		if eq < 0 {
+			return StreamEntry{}, fmt.Errorf("parameter %q is not key=value", param)
+		}
+		key, val := strings.TrimSpace(param[:eq]), strings.TrimSpace(param[eq+1:])
+		if seen[key] {
+			return StreamEntry{}, fmt.Errorf("duplicate parameter %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "n", "tasks", "w", "min":
+			iv, err := strconv.Atoi(val)
+			if err != nil || iv <= 0 {
+				return StreamEntry{}, fmt.Errorf("%s=%q is not a positive integer", key, val)
+			}
+			switch key {
+			case "n":
+				if kind != "qr" {
+					return StreamEntry{}, fmt.Errorf("n= only applies to qr jobs")
+				}
+				e.N = iv
+			case "tasks":
+				if kind != "farm" {
+					return StreamEntry{}, fmt.Errorf("tasks= only applies to farm jobs")
+				}
+				e.Tasks = iv
+			case "w":
+				e.Width = iv
+			case "min":
+				e.MinWidth = iv
+			}
+		case "bid", "est":
+			fv, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(fv) || math.IsInf(fv, 0) || fv <= 0 {
+				return StreamEntry{}, fmt.Errorf("%s=%q is not a positive finite number", key, val)
+			}
+			if key == "bid" {
+				e.Bid = fv
+			} else {
+				e.Est = fv
+			}
+		default:
+			return StreamEntry{}, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	if kind == "qr" && e.N == 0 {
+		return StreamEntry{}, fmt.Errorf("qr job needs n=")
+	}
+	if kind == "farm" && e.Tasks == 0 {
+		return StreamEntry{}, fmt.Errorf("farm job needs tasks=")
+	}
+	if e.Width == 0 {
+		return StreamEntry{}, fmt.Errorf("job needs w=")
+	}
+	if e.MinWidth > e.Width {
+		return StreamEntry{}, fmt.Errorf("min=%d exceeds w=%d", e.MinWidth, e.Width)
+	}
+	return e, nil
+}
+
+// sortStream orders entries by submit time, then kind, then shape and
+// width — a total order over distinct entries, so execution order never
+// depends on how the stream string was assembled.
+func sortStream(entries []StreamEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.Tasks != b.Tasks {
+			return a.Tasks < b.Tasks
+		}
+		return a.Width < b.Width
+	})
+}

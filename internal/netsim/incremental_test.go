@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+
+	"grads/internal/simcore"
+)
+
+// Two disjoint components: flows on lanA never share a link with flows on
+// lanB. A mutation on lanA must re-solve only lanA's flows.
+func TestIncrementalSolveScopesToComponent(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	lanA := n.AddLink("lanA", 1000, 0)
+	lanB := n.AddLink("lanB", 1000, 0)
+	for i := 0; i < 3; i++ {
+		s.Spawn("a", func(p *simcore.Proc) { n.Transfer(p, []*Link{lanA}, 1e6) })
+	}
+	for i := 0; i < 5; i++ {
+		s.Spawn("b", func(p *simcore.Proc) { n.Transfer(p, []*Link{lanB}, 1e6) })
+	}
+	s.RunUntil(1)
+	_, before := n.SolverStats()
+	s.Schedule(0, func() { n.SetBackground(lanA, 100) })
+	s.RunUntil(2)
+	if _, after := n.SolverStats(); after-before != 3 {
+		t.Fatalf("background change on lanA re-solved %d flows, want 3 (lanA's component only)", after-before)
+	}
+
+	// The same mutation under the reference solver re-solves everything.
+	n.SetReferenceSolver(true)
+	_, before = n.SolverStats()
+	s.Schedule(0, func() { n.SetBackground(lanA, 200) })
+	s.RunUntil(3)
+	if _, after := n.SolverStats(); after-before != 8 {
+		t.Fatalf("reference solver re-solved %d flows, want all 8", after-before)
+	}
+}
+
+// Components connected through a shared bottleneck must be walked
+// transitively: dirtying l1 re-solves the flows on l2 that share a route
+// with an l1 flow, and beyond.
+func TestIncrementalSolvePropagatesOverSharedLinks(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	l1 := n.AddLink("l1", 100, 0)
+	l2 := n.AddLink("l2", 40, 0)
+	l3 := n.AddLink("l3", 70, 0)
+	other := n.AddLink("other", 10, 0)
+	s.Spawn("a", func(p *simcore.Proc) { n.Transfer(p, []*Link{l1}, 1e6) })
+	s.Spawn("b", func(p *simcore.Proc) { n.Transfer(p, []*Link{l1, l2}, 1e6) })
+	s.Spawn("c", func(p *simcore.Proc) { n.Transfer(p, []*Link{l2, l3}, 1e6) })
+	s.Spawn("d", func(p *simcore.Proc) { n.Transfer(p, []*Link{other}, 1e6) })
+	s.RunUntil(0.5)
+	_, before := n.SolverStats()
+	s.Schedule(0, func() { n.SetBackground(l3, 5) })
+	s.RunUntil(1)
+	if _, after := n.SolverStats(); after-before != 3 {
+		t.Fatalf("l3 change re-solved %d flows, want 3 (a, b, c transitively; not d)", after-before)
+	}
+}
+
+// Ten transfers starting at the same instant — and later finishing at the
+// same instant — must each cost one progressive-filling pass total, not one
+// per flow.
+func TestSameInstantEventsBatchIntoOneSolve(t *testing.T) {
+	s := simcore.New(1)
+	n := New(s)
+	l := n.AddLink("lan", 1000, 0)
+	for i := 0; i < 10; i++ {
+		s.Spawn(fmt.Sprintf("tx%d", i), func(p *simcore.Proc) { n.Transfer(p, []*Link{l}, 1000) })
+	}
+	// One long flow survives the batch completion so that completing the ten
+	// equal flows still requires (exactly one) reallocation.
+	s.Spawn("long", func(p *simcore.Proc) { n.Transfer(p, []*Link{l}, 1e6) })
+	s.Run()
+	passes, flowsSolved := n.SolverStats()
+	// Pass 1: the 11-flow start batch. Pass 2: the 10 simultaneous
+	// completions, re-solving only the survivor. The survivor's own
+	// completion leaves no flows, so it needs no pass at all.
+	if passes != 2 {
+		t.Fatalf("ran %d solver passes, want 2 (one per same-instant batch)", passes)
+	}
+	if flowsSolved != 12 {
+		t.Fatalf("solved %d flow rates, want 12 (11 at start + 1 survivor)", flowsSolved)
+	}
+}
+
+// Regression test for the single-pass completion rewrite: when several flows
+// finish at the same virtual timestamp, they complete (and their processes
+// resume) in start order, deterministically.
+func TestCompletionOrderAtEqualTimestampsIsDeterministic(t *testing.T) {
+	run := func(reference bool) []string {
+		s := simcore.New(7)
+		n := New(s)
+		n.SetReferenceSolver(reference)
+		l := n.AddLink("lan", 600, 0)
+		var order []string
+		for _, name := range []string{"e", "c", "a", "d", "b", "f"} {
+			name := name
+			s.Spawn(name, func(p *simcore.Proc) {
+				n.Transfer(p, []*Link{l}, 500) // equal sizes: all finish together
+				order = append(order, name)
+			})
+		}
+		s.Run()
+		return order
+	}
+	want := []string{"e", "c", "a", "d", "b", "f"} // spawn (= flow seq) order
+	for trial := 0; trial < 3; trial++ {
+		for _, ref := range []bool{false, true} {
+			got := run(ref)
+			if len(got) != len(want) {
+				t.Fatalf("reference=%v: %d completions, want %d", ref, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("reference=%v trial %d: completion order %v, want %v", ref, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The incremental and reference solvers must assign bit-identical rates.
+// (The full differential check over random workloads lives in
+// internal/simtest; this is the minimal white-box version.)
+func TestIncrementalRatesMatchReference(t *testing.T) {
+	build := func(reference bool) (*simcore.Sim, *Network) {
+		s := simcore.New(3)
+		n := New(s)
+		n.SetReferenceSolver(reference)
+		l1 := n.AddLink("l1", 100, 0)
+		l2 := n.AddLink("l2", 40, 0)
+		l3 := n.AddLink("l3", 250, 0)
+		s.Spawn("a", func(p *simcore.Proc) { n.Transfer(p, []*Link{l1}, 1e5) })
+		s.Spawn("b", func(p *simcore.Proc) { n.Transfer(p, []*Link{l1, l2}, 1e5) })
+		s.Spawn("c", func(p *simcore.Proc) { n.Transfer(p, []*Link{l2}, 1e5) })
+		s.Spawn("d", func(p *simcore.Proc) { n.Transfer(p, []*Link{l3}, 1e5) })
+		s.SpawnAt(2, "e", func(p *simcore.Proc) { n.Transfer(p, []*Link{l3, l2}, 1e5) })
+		s.Schedule(1, func() { n.SetBackground(l1, 17) })
+		return s, n
+	}
+	si, ni := build(false)
+	sr, nr := build(true)
+	for _, at := range []float64{0.5, 1.5, 2.5} {
+		si.RunUntil(at)
+		sr.RunUntil(at)
+		inc, ref := ni.FlowSnapshot(), nr.FlowSnapshot()
+		if len(inc) != len(ref) {
+			t.Fatalf("t=%v: %d vs %d flows", at, len(inc), len(ref))
+		}
+		for i := range inc {
+			if inc[i].Rate != ref[i].Rate || inc[i].Remaining != ref[i].Remaining {
+				t.Fatalf("t=%v flow %d: incremental (rate=%v rem=%v) != reference (rate=%v rem=%v)",
+					at, i, inc[i].Rate, inc[i].Remaining, ref[i].Rate, ref[i].Remaining)
+			}
+		}
+	}
+}

@@ -8,12 +8,40 @@
 // route before the flow starts. This fidelity level captures everything the
 // GrADS experiments measure (transfer durations under contention and
 // time-varying cross traffic) without packet-level cost.
+//
+// # Incremental solver
+//
+// The max-min allocation decomposes over connected components of the
+// bipartite flow–link graph: flows in different components share no links,
+// so their rates are independent. The default solver exploits this. Every
+// mutation (flow start/finish, background change, degradation) marks the
+// affected links dirty; one coalesced reallocation per virtual instant then
+// re-solves only the connected component(s) reachable from the dirty links,
+// leaving all other flow rates untouched. Both solvers run the identical
+// progressive-filling code (solveFlows) over a seq-ordered flow list, so the
+// incremental path is bit-identical to the global one — a property enforced
+// by the differential harness in internal/simtest.
+//
+// SetReferenceSolver(true) (gradsim -netsim-reference) disables the
+// component scoping and re-solves every flow on every reallocation, exactly
+// like the original global solver. It is the oracle the incremental solver
+// is checked against.
+//
+// # Batched reallocation
+//
+// Reallocations are deferred to a simcore.Coalescer: N simultaneous flow
+// completions (or an arbitrary burst of same-instant mutations) trigger one
+// progressive-filling pass instead of N. The flush always runs before
+// virtual time advances, so no process can observe stale rates across an
+// interval; synchronous readers (EstimateRate, FlowSnapshot) force the flush
+// themselves.
 package netsim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"grads/internal/simcore"
 	"grads/internal/telemetry"
@@ -40,6 +68,14 @@ type Link struct {
 	capFactor float64 // degradation multiplier on capacity, (0, 1]
 	latFactor float64 // degradation multiplier on latency, >= 1
 	down      bool    // partitioned: transfers fail
+
+	flows map[*flow]struct{} // active flows crossing this link
+
+	// Solver scratch, valid only while stamp equals the owning network's
+	// current epoch. Keeping it on the link makes each solve allocation-free.
+	svResidual float64
+	svCount    int
+	stamp      int64
 }
 
 // Name returns the link name.
@@ -69,18 +105,46 @@ func (l *Link) residual() float64 {
 	return r
 }
 
+// Residual returns the capacity available to simulated flows in bytes/s
+// (effective capacity minus background traffic, floored at 1 B/s). It is
+// what the max-min solver divides among the flows crossing the link; the
+// simtest invariant checks compare flow-rate sums against it.
+func (l *Link) Residual() float64 { return l.residual() }
+
 // Network owns links and active flows and maintains the max-min fair
 // allocation in virtual time.
 type Network struct {
 	sim     *simcore.Sim
 	links   map[string]*Link
-	flows   []*flow
+	flows   []*flow // active flows, ascending seq (start order)
 	nextSeq int64
 
 	lastUpdate float64
 	doneEvent  *simcore.Event
 
 	bytesMoved float64 // cumulative completed-flow volume, for stats
+
+	reference bool // re-solve every flow on every reallocation (oracle mode)
+
+	// Deferred-reallocation state: mutations mark links dirty and trigger
+	// one coalesced flush per virtual instant.
+	realloc *simcore.Coalescer
+	dirty   map[*Link]struct{}
+	reasons []string // distinct mutation reasons folded into the next flush
+
+	epoch   int64 // stamp generator for link scratch and flow marks
+	version int64 // bumped on every state mutation, see StateVersion
+
+	// Reusable scratch for the solver and completion handling.
+	seedScratch  []*Link
+	queueScratch []*Link
+	compScratch  []*flow
+	linkScratch  []*Link
+	workScratch  []*flow
+	finScratch   []*flow
+
+	statSolves      int64 // progressive-filling passes run
+	statFlowsSolved int64 // flow rates recomputed, summed over passes
 }
 
 type flow struct {
@@ -92,11 +156,41 @@ type flow struct {
 	start     float64
 	proc      *simcore.Proc
 	src, dst  string // endpoint labels for fault targeting ("" = unlabeled)
+
+	mark int64 // component-walk visit stamp
 }
 
 // New creates an empty network bound to sim.
 func New(sim *simcore.Sim) *Network {
-	return &Network{sim: sim, links: make(map[string]*Link), lastUpdate: sim.Now()}
+	n := &Network{
+		sim:        sim,
+		links:      make(map[string]*Link),
+		lastUpdate: sim.Now(),
+		dirty:      make(map[*Link]struct{}),
+	}
+	n.realloc = simcore.NewCoalescer(sim, n.flush)
+	return n
+}
+
+// SetReferenceSolver selects between the incremental component solver
+// (false, the default) and the global reference solver (true), which
+// re-solves every flow on every reallocation. Both produce bit-identical
+// rates; the reference solver exists as the oracle for the differential
+// harness. Any pending reallocation is flushed before switching.
+func (n *Network) SetReferenceSolver(on bool) {
+	n.realloc.Flush()
+	n.reference = on
+}
+
+// ReferenceSolver reports whether the global reference solver is selected.
+func (n *Network) ReferenceSolver() bool { return n.reference }
+
+// SolverStats returns the number of progressive-filling passes run and the
+// total number of flow rates recomputed across them. Under the incremental
+// solver the second number counts only dirty-component flows; under the
+// reference solver it counts every active flow per pass.
+func (n *Network) SolverStats() (passes, flowsSolved int64) {
+	return n.statSolves, n.statFlowsSolved
 }
 
 // AddLink creates and registers a link. capacity is in bytes per second,
@@ -108,7 +202,11 @@ func (n *Network) AddLink(name string, capacity, latency float64) *Link {
 	if _, dup := n.links[name]; dup {
 		panic(fmt.Sprintf("netsim: duplicate link %q", name))
 	}
-	l := &Link{name: name, capacity: capacity, latency: latency, capFactor: 1, latFactor: 1}
+	l := &Link{
+		name: name, capacity: capacity, latency: latency,
+		capFactor: 1, latFactor: 1,
+		flows: make(map[*flow]struct{}),
+	}
 	n.links[name] = l
 	return l
 }
@@ -117,21 +215,19 @@ func (n *Network) AddLink(name string, capacity, latency float64) *Link {
 func (n *Network) Link(name string) *Link { return n.links[name] }
 
 // SetBackground changes a link's cross-traffic consumption (bytes/s) and
-// re-splits the bandwidth of all active flows.
+// re-splits the bandwidth of the flows sharing capacity with it.
 func (n *Network) SetBackground(l *Link, bytesPerSec float64) {
 	if bytesPerSec < 0 {
 		bytesPerSec = 0
 	}
 	n.advance()
 	l.background = bytesPerSec
-	n.reallocate()
-	n.reschedule()
-	n.emitRealloc("background:" + l.name)
+	n.invalidateLink("background:"+l.name, l)
 }
 
 // SetCapacityFactor degrades (or restores) a link: its capacity becomes
 // factor times the raw capacity. factor clamps to (0, 1]. Active flows
-// re-split immediately.
+// re-split at the current instant.
 func (n *Network) SetCapacityFactor(l *Link, factor float64) {
 	if factor <= 0 {
 		factor = 1e-6
@@ -141,9 +237,7 @@ func (n *Network) SetCapacityFactor(l *Link, factor float64) {
 	}
 	n.advance()
 	l.capFactor = factor
-	n.reallocate()
-	n.reschedule()
-	n.emitRealloc("degrade:" + l.name)
+	n.invalidateLink("degrade:"+l.name, l)
 }
 
 // SetLatencyFactor multiplies a link's latency by factor (>= 1); 1 restores
@@ -154,6 +248,7 @@ func (n *Network) SetLatencyFactor(l *Link, factor float64) {
 		factor = 1
 	}
 	l.latFactor = factor
+	n.version++
 }
 
 // SetLinkDown partitions or restores a link. Going down kills every active
@@ -176,9 +271,7 @@ func (n *Network) SetLinkDown(l *Link, down bool) {
 			return false
 		}, ErrLinkDown)
 	}
-	n.reallocate()
-	n.reschedule()
-	n.emitRealloc("partition:" + l.name)
+	n.invalidateLink("partition:"+l.name, l)
 }
 
 // FailEndpoint kills every active flow labeled with the given endpoint as
@@ -192,9 +285,7 @@ func (n *Network) FailEndpoint(name string, cause error) int {
 	n.advance()
 	killed := n.failFlows(func(f *flow) bool { return f.src == name || f.dst == name }, cause)
 	if killed > 0 {
-		n.reallocate()
-		n.reschedule()
-		n.emitRealloc("endpoint:" + name)
+		n.note("endpoint:" + name)
 	}
 	return killed
 }
@@ -229,6 +320,63 @@ func routeUp(route []*Link) error {
 		}
 	}
 	return nil
+}
+
+// StateVersion returns a counter that increases on every network state
+// mutation (flow add/remove, background, degradation, partition, latency
+// changes). Equal versions guarantee rate and latency estimates over any
+// route return identical values, making the version a sound memoization key
+// for transfer-time estimates; EstimateRate probes restore state exactly and
+// do not bump it.
+func (n *Network) StateVersion() int64 { return n.version }
+
+// note records a mutation reason for the next coalesced reallocation and
+// triggers the flush, without marking any link dirty.
+func (n *Network) note(reason string) {
+	n.version++
+	for _, r := range n.reasons {
+		if r == reason {
+			n.realloc.Trigger()
+			return
+		}
+	}
+	n.reasons = append(n.reasons, reason)
+	n.realloc.Trigger()
+}
+
+// invalidateLink marks one link dirty and schedules the coalesced flush.
+func (n *Network) invalidateLink(reason string, l *Link) {
+	n.dirty[l] = struct{}{}
+	n.note(reason)
+}
+
+// invalidateRoute marks every link of a route dirty and schedules the flush.
+func (n *Network) invalidateRoute(reason string, route []*Link) {
+	for _, l := range route {
+		n.dirty[l] = struct{}{}
+	}
+	n.note(reason)
+}
+
+// flush is the coalesced reallocation: it folds elapsed progress, re-solves
+// the dirty scope, re-arms the completion event and publishes one realloc
+// trace event carrying every distinct mutation reason of the batch.
+func (n *Network) flush() {
+	n.advance()
+	if len(n.dirty) > 0 {
+		seed := n.seedScratch[:0]
+		for l := range n.dirty {
+			seed = append(seed, l)
+		}
+		clear(n.dirty)
+		n.solveSeed(seed)
+		n.seedScratch = seed[:0]
+	}
+	n.reschedule()
+	if len(n.reasons) > 0 {
+		n.emitRealloc(strings.Join(n.reasons, "+"))
+		n.reasons = n.reasons[:0]
+	}
 }
 
 // emitRealloc publishes a max-min reallocation trace event. It is called
@@ -268,6 +416,26 @@ func (n *Network) ActiveFlows() int { return len(n.flows) }
 // BytesMoved returns the cumulative volume of completed transfers.
 func (n *Network) BytesMoved() float64 { return n.bytesMoved }
 
+// FlowInfo is a read-only snapshot of one active flow.
+type FlowInfo struct {
+	Rate      float64 // current max-min fair rate, bytes/s
+	Remaining float64 // bytes left to move
+	Total     float64 // transfer size, bytes
+	Route     []*Link // links crossed, in order (do not mutate)
+}
+
+// FlowSnapshot returns the active flows in start order. Any pending
+// coalesced reallocation is flushed first so the rates are current.
+func (n *Network) FlowSnapshot() []FlowInfo {
+	n.realloc.Flush()
+	n.advance()
+	out := make([]FlowInfo, len(n.flows))
+	for i, f := range n.flows {
+		out[i] = FlowInfo{Rate: f.rate, Remaining: f.remaining, Total: f.total, Route: f.route}
+	}
+	return out
+}
+
 // RouteLatency returns the summed one-way latency of a route.
 func (n *Network) RouteLatency(route []*Link) float64 {
 	sum := 0.0
@@ -284,13 +452,34 @@ func (n *Network) EstimateRate(route []*Link) float64 {
 	if len(route) == 0 {
 		return math.Inf(1)
 	}
-	phantom := &flow{route: route, remaining: 1}
+	// Fold any pending same-instant mutations so the probe sees the state a
+	// real flow would start into.
+	n.realloc.Flush()
+	// The phantom's seq sorts after every real flow, mirroring its position
+	// at the tail of the flow list.
+	phantom := &flow{seq: math.MaxInt64, route: route, remaining: 1}
 	n.flows = append(n.flows, phantom)
-	n.computeRates()
+	n.indexFlow(phantom)
+	n.probeSolve(route)
 	rate := phantom.rate
+	n.flows[len(n.flows)-1] = nil
 	n.flows = n.flows[:len(n.flows)-1]
-	n.computeRates()
+	n.unindexFlow(phantom)
+	n.probeSolve(route) // restore pre-probe rates (bit-identical re-solve)
 	return rate
+}
+
+// probeSolve re-solves the scope affected by an EstimateRate probe: the
+// probe route's connected component, or everything in reference mode.
+func (n *Network) probeSolve(route []*Link) {
+	if n.reference {
+		n.solveFlows(n.flows)
+		return
+	}
+	seed := n.seedScratch[:0]
+	seed = append(seed, route...)
+	n.solveSeed(seed)
+	n.seedScratch = seed[:0]
 }
 
 // TransferTimeEstimate predicts the duration of moving the given volume over
@@ -335,25 +524,36 @@ func (n *Network) TransferLabeled(p *simcore.Proc, route []*Link, bytes float64,
 	n.nextSeq++
 	f := &flow{seq: n.nextSeq, route: route, remaining: bytes, total: bytes, start: n.sim.Now(), proc: p, src: src, dst: dst}
 	n.flows = append(n.flows, f)
-	n.reallocate()
-	n.reschedule()
+	n.indexFlow(f)
+	n.invalidateRoute("flow-start", route)
 	if tel := n.sim.Telemetry(); tel != nil {
 		tel.Emit(telemetry.Event{
 			Type: telemetry.EvFlowStart, Comp: "netsim", Name: p.Name(),
 			Args: []telemetry.Arg{
 				telemetry.F("bytes", bytes),
 				telemetry.I("hops", len(route)),
-				telemetry.F("rate", f.rate),
 			},
 		})
 	}
-	n.emitRealloc("flow-start")
 	if err := p.ParkWith(nil); err != nil {
 		n.removeFlow(f)
-		n.emitRealloc("flow-interrupted")
 		return f.total - f.remaining, err
 	}
 	return f.total, nil
+}
+
+// indexFlow registers f on every link of its route.
+func (n *Network) indexFlow(f *flow) {
+	for _, l := range f.route {
+		l.flows[f] = struct{}{}
+	}
+}
+
+// unindexFlow removes f from every link of its route.
+func (n *Network) unindexFlow(f *flow) {
+	for _, l := range f.route {
+		delete(l.flows, f)
+	}
 }
 
 // advance progresses all flows to the current time at their last rates.
@@ -371,36 +571,98 @@ func (n *Network) advance() {
 	n.lastUpdate = now
 }
 
-// reallocate recomputes the max-min fair rate of every flow.
-func (n *Network) reallocate() { n.computeRates() }
-
-// computeRates runs progressive filling over the current flow set.
-func (n *Network) computeRates() {
+// solveSeed re-solves the connected component(s) of the flow–link graph
+// reachable from the seed links — or every flow in reference mode. Because
+// max-min allocations decompose over components, solving a component in
+// isolation yields exactly the rates the global solve would assign it.
+func (n *Network) solveSeed(seed []*Link) {
 	if len(n.flows) == 0 {
 		return
 	}
-	type linkState struct {
-		residual float64
-		count    int // unfrozen flows crossing this link
+	if n.reference {
+		n.solveFlows(n.flows)
+		return
 	}
-	states := make(map[*Link]*linkState)
-	for _, f := range n.flows {
-		for _, l := range f.route {
-			st := states[l]
-			if st == nil {
-				st = &linkState{residual: l.residual()}
-				states[l] = st
-			}
-			st.count++
+	n.epoch++
+	ep := n.epoch
+	queue := n.queueScratch[:0]
+	for _, l := range seed {
+		if l.stamp != ep {
+			l.stamp = ep
+			queue = append(queue, l)
 		}
 	}
-	frozen := make(map[*flow]bool, len(n.flows))
-	for len(frozen) < len(n.flows) {
+	marked := 0
+	for qi := 0; qi < len(queue); qi++ {
+		for f := range queue[qi].flows {
+			if f.mark == ep {
+				continue
+			}
+			f.mark = ep
+			marked++
+			for _, rl := range f.route {
+				if rl.stamp != ep {
+					rl.stamp = ep
+					queue = append(queue, rl)
+				}
+			}
+		}
+	}
+	n.queueScratch = queue[:0]
+	if marked == 0 {
+		return
+	}
+	if marked == len(n.flows) {
+		// The dirty scope covers everything; n.flows is already seq-ordered.
+		n.solveFlows(n.flows)
+		return
+	}
+	// Collect the marked flows by filtering the flow list, which reproduces
+	// the reference solver's iteration order (ascending seq) exactly.
+	comp := n.compScratch[:0]
+	for _, f := range n.flows {
+		if f.mark == ep {
+			comp = append(comp, f)
+		}
+	}
+	n.solveFlows(comp)
+	n.compScratch = comp[:0]
+}
+
+// solveFlows runs progressive filling over the given seq-ordered flow set,
+// assigning each flow its max-min fair rate. It is the single shared solver
+// core: the reference path passes every active flow, the incremental path a
+// connected component. The arithmetic (iteration order, freeze tolerance,
+// residual clamping) is identical either way, which is what makes the two
+// paths bit-identical.
+func (n *Network) solveFlows(flows []*flow) {
+	if len(flows) == 0 {
+		return
+	}
+	n.statSolves++
+	n.statFlowsSolved += int64(len(flows))
+	n.epoch++
+	ep := n.epoch
+	links := n.linkScratch[:0]
+	for _, f := range flows {
+		for _, l := range f.route {
+			if l.stamp != ep {
+				l.stamp = ep
+				l.svResidual = l.residual()
+				l.svCount = 0
+				links = append(links, l)
+			}
+			l.svCount++
+		}
+	}
+	work := n.workScratch[:0]
+	work = append(work, flows...)
+	for len(work) > 0 {
 		// Find the tightest link share among links with unfrozen flows.
 		minShare := math.Inf(1)
-		for _, st := range states {
-			if st.count > 0 {
-				if sh := st.residual / float64(st.count); sh < minShare {
+		for _, l := range links {
+			if l.svCount > 0 {
+				if sh := l.svResidual / float64(l.svCount); sh < minShare {
 					minShare = sh
 				}
 			}
@@ -410,37 +672,36 @@ func (n *Network) computeRates() {
 		}
 		// Freeze every unfrozen flow crossing a bottleneck link.
 		progress := false
-		for _, f := range n.flows {
-			if frozen[f] {
-				continue
-			}
+		next := work[:0]
+		for _, f := range work {
 			bottlenecked := false
 			for _, l := range f.route {
-				st := states[l]
-				if st.count > 0 && st.residual/float64(st.count) <= minShare*(1+1e-12) {
+				if l.svCount > 0 && l.svResidual/float64(l.svCount) <= minShare*(1+1e-12) {
 					bottlenecked = true
 					break
 				}
 			}
 			if !bottlenecked {
+				next = append(next, f)
 				continue
 			}
 			f.rate = minShare
-			frozen[f] = true
 			progress = true
 			for _, l := range f.route {
-				st := states[l]
-				st.residual -= minShare
-				if st.residual < 0 {
-					st.residual = 0
+				l.svResidual -= minShare
+				if l.svResidual < 0 {
+					l.svResidual = 0
 				}
-				st.count--
+				l.svCount--
 			}
 		}
+		work = next
 		if !progress {
 			break
 		}
 	}
+	n.linkScratch = links[:0]
+	n.workScratch = work[:0]
 }
 
 // reschedule cancels the pending completion event and schedules the next
@@ -468,58 +729,73 @@ func (n *Network) reschedule() {
 	n.doneEvent = n.sim.Schedule(soonest, n.onCompletion)
 }
 
-// onCompletion finishes exhausted flows, wakes their processes and
-// reallocates bandwidth among the survivors.
+// onCompletion finishes exhausted flows in one pass over the flow list,
+// marks their routes for the coalesced reallocation, and wakes their
+// processes. Simultaneous completions therefore cost a single progressive
+// filling, and the surviving flows keep their relative (seq) order, which
+// keeps completion handling deterministic at equal timestamps.
 func (n *Network) onCompletion() {
 	n.doneEvent = nil
 	n.advance()
 	now := n.sim.Now()
-	var finished, rest []*flow
+	tel := n.sim.Telemetry()
+	finished := n.finScratch[:0]
+	rest := n.flows[:0]
 	for _, f := range n.flows {
 		// A flow is done when no work remains — or when the work left is
 		// so small its completion time is absorbed by floating point
 		// (now + dt == now), which would otherwise loop the event forever.
 		if f.remaining <= 0 || (f.rate > 0 && now+f.remaining/f.rate == now) {
 			f.remaining = 0
+			n.bytesMoved += f.total
+			n.unindexFlow(f)
+			n.invalidateRoute("flow-end", f.route)
 			finished = append(finished, f)
+			if tel != nil {
+				tel.Histogram("netsim", "flow_seconds").Observe(now - f.start)
+				tel.Histogram("netsim", "flow_bytes").Observe(f.total)
+				tel.Emit(telemetry.Event{
+					Type: telemetry.EvFlowEnd, Comp: "netsim", Name: f.proc.Name(),
+					Dur:  now - f.start,
+					Args: []telemetry.Arg{telemetry.F("bytes", f.total)},
+				})
+			}
 		} else {
 			rest = append(rest, f)
 		}
 	}
+	for i := len(rest); i < len(n.flows); i++ {
+		n.flows[i] = nil
+	}
 	n.flows = rest
-	n.reallocate()
-	n.reschedule()
-	if len(finished) > 0 {
-		n.emitRealloc("flow-end")
-	}
-	if tel := n.sim.Telemetry(); tel != nil {
+	if len(finished) == 0 {
+		// Floating-point guard: nothing actually crossed zero; re-arm the
+		// completion event through the flush without emitting a realloc.
+		n.realloc.Trigger()
+	} else if tel != nil {
 		tel.Counter("netsim", "flows_completed").Add(uint64(len(finished)))
-		for _, f := range finished {
-			tel.Histogram("netsim", "flow_seconds").Observe(now - f.start)
-			tel.Histogram("netsim", "flow_bytes").Observe(f.total)
-			tel.Emit(telemetry.Event{
-				Type: telemetry.EvFlowEnd, Comp: "netsim", Name: f.proc.Name(),
-				Dur:  now - f.start,
-				Args: []telemetry.Arg{telemetry.F("bytes", f.total)},
-			})
-		}
 	}
-	for _, f := range finished {
-		n.bytesMoved += f.total
+	// Resume in a separate pass: a resumed process runs immediately and may
+	// start new transfers, mutating the flow list mid-iteration otherwise.
+	for i, f := range finished {
+		finished[i] = nil
 		f.proc.Resume(nil)
 	}
+	n.finScratch = finished[:0]
 }
 
-// removeFlow deletes a flow whose process was interrupted.
+// removeFlow deletes a flow whose process was interrupted, preserving the
+// seq order of the survivors.
 func (n *Network) removeFlow(f *flow) {
 	n.advance()
-	rest := n.flows[:0:0]
-	for _, x := range n.flows {
-		if x != f {
-			rest = append(rest, x)
+	for i, x := range n.flows {
+		if x == f {
+			copy(n.flows[i:], n.flows[i+1:])
+			n.flows[len(n.flows)-1] = nil
+			n.flows = n.flows[:len(n.flows)-1]
+			break
 		}
 	}
-	n.flows = rest
-	n.reallocate()
-	n.reschedule()
+	n.unindexFlow(f)
+	n.invalidateRoute("flow-interrupted", f.route)
 }

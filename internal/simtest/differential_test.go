@@ -1,0 +1,86 @@
+package simtest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// diffLine locates the first line where two traces diverge, for a readable
+// failure message.
+func diffLine(a, b []byte) (int, string, string) {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return i + 1, string(la[i]), string(lb[i])
+		}
+	}
+	return n + 1, "", ""
+}
+
+// The tentpole guarantee: replaying the same seeded workload through the
+// incremental and the reference solver must emit byte-identical telemetry
+// traces — same events, timestamps, rates and ordering.
+func TestDifferentialTracesAreByteIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		cfg := DefaultWorkload(seed)
+		inc, err := Trace(cfg, false)
+		if err != nil {
+			t.Fatalf("seed %d: incremental trace: %v", seed, err)
+		}
+		ref, err := Trace(cfg, true)
+		if err != nil {
+			t.Fatalf("seed %d: reference trace: %v", seed, err)
+		}
+		if len(inc) == 0 {
+			t.Fatalf("seed %d: empty trace", seed)
+		}
+		if !bytes.Equal(inc, ref) {
+			line, a, b := diffLine(inc, ref)
+			t.Fatalf("seed %d: traces diverge at line %d\nincremental: %s\nreference:   %s",
+				seed, line, a, b)
+		}
+	}
+}
+
+// A calm workload (no chaos) must also match: this isolates the flow
+// start/finish batching path from the fault paths.
+func TestDifferentialTracesMatchWithoutChaos(t *testing.T) {
+	cfg := DefaultWorkload(99)
+	cfg.ChaosOps = 0
+	inc, err := Trace(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Trace(cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(inc, ref) {
+		line, a, b := diffLine(inc, ref)
+		t.Fatalf("calm traces diverge at line %d\nincremental: %s\nreference:   %s", line, a, b)
+	}
+}
+
+// The same workload under the same solver must be deterministic run-to-run;
+// a flaky trace would make the differential check meaningless.
+func TestTraceIsDeterministicRunToRun(t *testing.T) {
+	cfg := DefaultWorkload(5)
+	for _, ref := range []bool{false, true} {
+		a, err := Trace(cfg, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Trace(cfg, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("reference=%v: identical runs produced different traces", ref)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package simtest
+
+import (
+	"testing"
+
+	"grads/internal/netsim"
+	"grads/internal/simcore"
+)
+
+// Sampling the allocation at many virtual times across seeds and solvers,
+// every snapshot must satisfy the max-min invariants: capacity feasibility,
+// positive rates, and the bottleneck condition.
+func TestAllocationSatisfiesMaxMinInvariants(t *testing.T) {
+	for _, seed := range []int64{2, 17, 303} {
+		for _, ref := range []bool{false, true} {
+			cfg := DefaultWorkload(seed)
+			sim, n, _ := Build(cfg, ref, nil)
+			for at := 1.0; at <= cfg.Horizon; at += 2 {
+				sim.RunUntil(at)
+				flows := n.FlowSnapshot()
+				for _, v := range CheckMaxMin(flows) {
+					t.Errorf("seed %d reference=%v t=%v: %s (%d active flows)",
+						seed, ref, at, v, len(flows))
+				}
+				if t.Failed() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CheckMaxMin itself must reject broken allocations; otherwise the property
+// test above proves nothing.
+func TestCheckMaxMinDetectsViolations(t *testing.T) {
+	sim := simcore.New(1)
+	n := netsim.New(sim)
+	l := n.AddLink("lan", 1000, 0)
+	sim.Spawn("a", func(p *simcore.Proc) { n.Transfer(p, []*netsim.Link{l}, 1e6) })
+	sim.Spawn("b", func(p *simcore.Proc) { n.Transfer(p, []*netsim.Link{l}, 1e6) })
+	sim.RunUntil(1)
+	good := n.FlowSnapshot()
+	if vs := CheckMaxMin(good); len(vs) != 0 {
+		t.Fatalf("valid allocation flagged: %v", vs)
+	}
+
+	// Oversubscribe: both flows claim the full residual.
+	over := []netsim.FlowInfo{
+		{Rate: 1000, Remaining: 1, Total: 1, Route: []*netsim.Link{l}},
+		{Rate: 1000, Remaining: 1, Total: 1, Route: []*netsim.Link{l}},
+	}
+	if vs := CheckMaxMin(over); len(vs) == 0 {
+		t.Fatal("oversubscribed allocation not flagged as infeasible")
+	}
+
+	// Starve: one flow gets nothing while the link has headroom.
+	starved := []netsim.FlowInfo{
+		{Rate: 400, Remaining: 1, Total: 1, Route: []*netsim.Link{l}},
+		{Rate: 0, Remaining: 1, Total: 1, Route: []*netsim.Link{l}},
+	}
+	vs := CheckMaxMin(starved)
+	if len(vs) == 0 {
+		t.Fatal("starved flow not flagged")
+	}
+
+	// Unfair split on one link: 100 vs 700 leaves the slow flow without a
+	// saturated link where it is maximal.
+	unfair := []netsim.FlowInfo{
+		{Rate: 100, Remaining: 1, Total: 1, Route: []*netsim.Link{l}},
+		{Rate: 700, Remaining: 1, Total: 1, Route: []*netsim.Link{l}},
+	}
+	found := false
+	for _, v := range CheckMaxMin(unfair) {
+		if v.Invariant == "bottleneck" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unfair split not flagged by the bottleneck condition")
+	}
+}

@@ -19,7 +19,11 @@ const (
 	EvTaskStart EventType = "cpu.task.start"
 	EvTaskDone  EventType = "cpu.task.done"
 
-	// Max-min fair network model (netsim).
+	// Max-min fair network model (netsim). net.realloc is emitted once per
+	// virtual instant that changed the allocation, carrying every distinct
+	// mutation reason of the coalesced batch joined by '+'; net.flow.start
+	// carries bytes and hop count (no rate: under batched reallocation the
+	// fair share is not known until the instant's flush runs).
 	EvNetRealloc EventType = "net.realloc"
 	EvFlowStart  EventType = "net.flow.start"
 	EvFlowEnd    EventType = "net.flow.end"
