@@ -11,6 +11,7 @@ package grads
 // are in EXPERIMENTS.md.
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
@@ -399,6 +400,39 @@ func BenchmarkFaultRecovery(b *testing.B) {
 	cfg.Intervals = []int{20}
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunFault(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Allocation-free kernel tentpole: end-to-end trace cost ---
+
+// BenchmarkE2E runs the chaos study's QR scenario (a full seeded
+// checkpoint/restart simulation) with JSONL tracing attached, using the
+// batched append-style encoder; BenchmarkE2EReference is the identical run
+// through the json.Marshal reference sink the encoder replaced. The pair is
+// gated by cmd/benchguard (BENCH_e2e.json): the whole-simulation win is
+// bounded by the share of time spent encoding, so the floor is modest —
+// the per-event wins are gated in BENCH_kernel.json.
+func BenchmarkE2E(b *testing.B)          { benchmarkE2E(b, telemetry.NewJSONL) }
+func BenchmarkE2EReference(b *testing.B) { benchmarkE2E(b, telemetry.NewJSONLReference) }
+
+func benchmarkE2E(b *testing.B, newSink func(w io.Writer) *telemetry.JSONL) {
+	cfg := experiments.DefaultChaosConfig()
+	cfg.N, cfg.Particles, cfg.Width = 2000, 100, 6
+	cfg.MTBFs = []float64{1500}
+	defer experiments.SetTelemetry(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel := telemetry.New()
+		sink := newSink(io.Discard)
+		tel.AddSink(sink)
+		experiments.SetTelemetry(tel)
+		if _, err := experiments.RunChaos(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

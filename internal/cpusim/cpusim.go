@@ -26,7 +26,8 @@ type CPU struct {
 	nextSeq int64
 
 	lastUpdate float64
-	doneEvent  *simcore.Event
+	doneEvent  simcore.Event
+	onDone     func() // completion handler, bound once to avoid per-reschedule allocs
 
 	busyTime   float64 // integral of "CPU has >=1 task" for utilization stats
 	lastBusyAt float64
@@ -45,7 +46,9 @@ func New(sim *simcore.Sim, name string, speed float64) *CPU {
 	if speed <= 0 {
 		panic("cpusim: speed must be positive")
 	}
-	return &CPU{sim: sim, name: name, speed: speed, lastUpdate: sim.Now()}
+	c := &CPU{sim: sim, name: name, speed: speed, lastUpdate: sim.Now()}
+	c.onDone = c.onCompletion
+	return c
 }
 
 // Name returns the CPU's name (normally the owning node's name).
@@ -149,10 +152,7 @@ func (c *CPU) advance() {
 // reschedule cancels any pending completion event and schedules one for the
 // earliest task to finish under the current sharing.
 func (c *CPU) reschedule() {
-	if c.doneEvent != nil {
-		c.doneEvent.Cancel()
-		c.doneEvent = nil
-	}
+	c.doneEvent.Cancel()
 	if len(c.tasks) == 0 {
 		return
 	}
@@ -163,13 +163,12 @@ func (c *CPU) reschedule() {
 		}
 	}
 	delay := minRem / c.rate()
-	c.doneEvent = c.sim.Schedule(delay, c.onCompletion)
+	c.doneEvent = c.sim.Schedule(delay, c.onDone)
 }
 
 // onCompletion finishes every task whose work is exhausted and wakes its
 // process, then reschedules.
 func (c *CPU) onCompletion() {
-	c.doneEvent = nil
 	c.advance()
 	now := c.sim.Now()
 	rate := c.rate()

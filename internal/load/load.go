@@ -90,8 +90,8 @@ func (p Profile) At(t float64) float64 {
 // with the point's value. Points in the past (relative to sim.Now) fire
 // immediately. Play returns the scheduled events so a caller can cancel the
 // remainder of a trace.
-func Play(sim *simcore.Sim, p Profile, set func(float64)) []*simcore.Event {
-	evs := make([]*simcore.Event, 0, len(p))
+func Play(sim *simcore.Sim, p Profile, set func(float64)) []simcore.Event {
+	evs := make([]simcore.Event, 0, len(p))
 	for _, pt := range p.Normalize() {
 		v := pt.Value
 		evs = append(evs, sim.At(pt.At, func() { set(v) }))

@@ -120,7 +120,8 @@ type Network struct {
 	nextSeq int64
 
 	lastUpdate float64
-	doneEvent  *simcore.Event
+	doneEvent  simcore.Event
+	onDone     func() // completion handler, bound once to avoid per-reschedule allocs
 
 	bytesMoved float64 // cumulative completed-flow volume, for stats
 
@@ -169,6 +170,7 @@ func New(sim *simcore.Sim) *Network {
 		dirty:      make(map[*Link]struct{}),
 	}
 	n.realloc = simcore.NewCoalescer(sim, n.flush)
+	n.onDone = n.onCompletion
 	return n
 }
 
@@ -707,10 +709,7 @@ func (n *Network) solveFlows(flows []*flow) {
 // reschedule cancels the pending completion event and schedules the next
 // flow completion under current rates.
 func (n *Network) reschedule() {
-	if n.doneEvent != nil {
-		n.doneEvent.Cancel()
-		n.doneEvent = nil
-	}
+	n.doneEvent.Cancel()
 	if len(n.flows) == 0 {
 		return
 	}
@@ -726,7 +725,7 @@ func (n *Network) reschedule() {
 	if math.IsInf(soonest, 1) {
 		return
 	}
-	n.doneEvent = n.sim.Schedule(soonest, n.onCompletion)
+	n.doneEvent = n.sim.Schedule(soonest, n.onDone)
 }
 
 // onCompletion finishes exhausted flows in one pass over the flow list,
@@ -735,7 +734,6 @@ func (n *Network) reschedule() {
 // filling, and the surviving flows keep their relative (seq) order, which
 // keeps completion handling deterministic at equal timestamps.
 func (n *Network) onCompletion() {
-	n.doneEvent = nil
 	n.advance()
 	now := n.sim.Now()
 	tel := n.sim.Telemetry()

@@ -14,7 +14,7 @@ package simcore
 type Coalescer struct {
 	sim *Sim
 	fn  func()
-	ev  *Event
+	ev  Event
 
 	fired uint64 // number of callback runs (Trigger batches + Flushes)
 	calls uint64 // number of Trigger calls absorbed
@@ -31,30 +31,31 @@ func NewCoalescer(sim *Sim, fn func()) *Coalescer {
 // before the callback runs are absorbed into the same pending run.
 func (c *Coalescer) Trigger() {
 	c.calls++
-	if c.ev != nil {
+	if c.ev.Live() {
 		return
 	}
 	c.ev = c.sim.Schedule(0, c.fire)
 }
 
+// fire runs as the coalesced event's callback; by then the kernel has
+// retired the event, so c.ev is already stale and a new Trigger may arm it
+// again from inside fn.
 func (c *Coalescer) fire() {
-	c.ev = nil
 	c.fired++
 	c.fn()
 }
 
 // Pending reports whether a coalesced run is scheduled and has not fired yet.
-func (c *Coalescer) Pending() bool { return c.ev != nil }
+func (c *Coalescer) Pending() bool { return c.ev.Live() }
 
 // Flush runs the callback synchronously if a run is pending, canceling the
 // scheduled event; it is a no-op otherwise. Readers that need the deferred
 // state to be current (probes, snapshots) call Flush before looking.
 func (c *Coalescer) Flush() {
-	if c.ev == nil {
+	if !c.ev.Live() {
 		return
 	}
 	c.ev.Cancel()
-	c.ev = nil
 	c.fired++
 	c.fn()
 }

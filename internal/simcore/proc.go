@@ -34,6 +34,13 @@ type Proc struct {
 	// called by Interrupt before resuming with an error.
 	unblock func()
 
+	// sleepEv is the pending wakeup of the current Sleep, and cancelSleep
+	// the once-allocated unblock function that revokes it — Sleep itself
+	// allocates nothing (see Event's generation counters for why a stale
+	// sleepEv is harmless).
+	sleepEv     Event
+	cancelSleep func()
+
 	alive bool
 	dead  bool
 }
@@ -55,6 +62,7 @@ func (s *Sim) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
 		parked: make(chan struct{}),
 		alive:  true,
 	}
+	p.cancelSleep = func() { p.sleepEv.Cancel() }
 	s.liveProcs[p.id] = p
 	s.cSpawns.Add(1)
 	if s.tel != nil {
@@ -88,7 +96,7 @@ func (s *Sim) SpawnAt(t float64, name string, body func(p *Proc)) *Proc {
 		}
 		p.parked <- struct{}{} // final handoff back to the kernel
 	}()
-	s.At(t, func() { p.run(nil) })
+	s.scheduleAt(t, nil, p)
 	return p
 }
 
@@ -143,11 +151,11 @@ func (p *Proc) Alive() bool { return p.alive && !p.dead }
 // A non-positive d yields the processor for zero time (other events at the
 // current time run first).
 func (p *Proc) Sleep(d float64) error {
-	if d < 0 {
+	if d < 0 || d != d {
 		d = 0
 	}
-	ev := p.sim.Schedule(d, func() { p.run(nil) })
-	p.unblock = ev.Cancel
+	p.sleepEv = p.sim.scheduleAt(p.sim.now+d, nil, p)
+	p.unblock = p.cancelSleep
 	return p.park()
 }
 

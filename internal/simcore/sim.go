@@ -21,10 +21,10 @@ import (
 // Sim is a discrete-event simulation. The zero value is not usable; create
 // one with New.
 type Sim struct {
-	now    float64
-	seq    int64
-	events eventHeap
-	rng    *rand.Rand
+	now float64
+	seq int64
+	q   eventQueue
+	rng *rand.Rand
 
 	nextProcID int
 	liveProcs  map[int]*Proc
@@ -90,7 +90,7 @@ func (s *Sim) Tracef(format string, args ...any) {
 
 // Schedule runs fn after delay seconds of virtual time and returns the
 // scheduled event, which may be canceled. A negative delay is treated as 0.
-func (s *Sim) Schedule(delay float64, fn func()) *Event {
+func (s *Sim) Schedule(delay float64, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
 	}
@@ -99,14 +99,24 @@ func (s *Sim) Schedule(delay float64, fn func()) *Event {
 
 // At runs fn at absolute virtual time t and returns the scheduled event.
 // Scheduling in the past is clamped to the present.
-func (s *Sim) At(t float64, fn func()) *Event {
-	if t < s.now {
+func (s *Sim) At(t float64, fn func()) Event {
+	return s.scheduleAt(t, fn, nil)
+}
+
+// scheduleAt is the single entry point onto the event queue. Exactly one of
+// fn and proc is set: a proc event resumes the process without a per-call
+// closure (the pooled resume path used by Sleep and the wait primitives).
+// The clamp also maps a NaN time to the present, keeping the heap keys
+// totally ordered.
+func (s *Sim) scheduleAt(t float64, fn func(), proc *Proc) Event {
+	if !(t > s.now) {
 		t = s.now
 	}
 	s.seq++
-	e := &Event{t: t, seq: s.seq, fn: fn}
-	s.events.push(e)
-	return e
+	idx := s.q.alloc(t, s.seq, fn, proc)
+	s.q.push(heapEntry{tb: math.Float64bits(t), ord: uint64(s.seq)<<ordIdxBits | uint64(idx)})
+	s.q.live++
+	return Event{s: s, t: t, idx: idx, gen: s.q.slots[idx].gen}
 }
 
 // Stop makes the current Run call return after the current event completes.
@@ -122,18 +132,15 @@ func (s *Sim) Run() float64 { return s.RunUntil(math.Inf(1)) }
 func (s *Sim) RunUntil(horizon float64) float64 {
 	s.stopped = false
 	for !s.stopped {
-		e := s.events.peekNext()
-		if e == nil {
+		idx := s.q.peekLive()
+		if idx < 0 {
 			break
 		}
-		if e.t > horizon {
+		if s.q.slots[idx].t > horizon {
 			s.now = horizon
 			return s.now
 		}
-		s.events.popNext()
-		s.now = e.t
-		s.cEvents.Add(1)
-		e.fn()
+		s.fire(idx)
 	}
 	if !math.IsInf(horizon, 1) && horizon > s.now {
 		s.now = horizon
@@ -141,28 +148,37 @@ func (s *Sim) RunUntil(horizon float64) float64 {
 	return s.now
 }
 
+// fire pops the queue's minimum — the live event in slot idx — recycles the
+// slot before running the callback (so the callback may immediately reuse
+// it for new events), advances the clock, and runs the callback.
+func (s *Sim) fire(idx int32) {
+	s.q.deleteMin()
+	sl := &s.q.slots[idx]
+	t, fn, proc := sl.t, sl.fn, sl.proc
+	s.q.live--
+	s.q.recycle(idx)
+	s.now = t
+	s.cEvents.Add(1)
+	if proc != nil {
+		proc.run(nil)
+	} else {
+		fn()
+	}
+}
+
 // Step fires exactly one event, if one exists, and reports whether it did.
 func (s *Sim) Step() bool {
-	e := s.events.popNext()
-	if e == nil {
+	idx := s.q.peekLive()
+	if idx < 0 {
 		return false
 	}
-	s.now = e.t
-	s.cEvents.Add(1)
-	e.fn()
+	s.fire(idx)
 	return true
 }
 
 // PendingEvents returns the number of live (non-canceled) scheduled events.
-func (s *Sim) PendingEvents() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// It is O(1): the queue maintains the count across push, fire and cancel.
+func (s *Sim) PendingEvents() int { return s.q.live }
 
 // LiveProcs returns the names of processes that have been spawned and have
 // not yet terminated, sorted for determinism. It is a debugging aid for

@@ -90,7 +90,7 @@ func (g *Signal) Fire() bool {
 	}
 	w.removed = true
 	w.p.unblock = nil
-	g.sim.Schedule(0, func() { w.p.run(nil) })
+	g.sim.scheduleAt(g.sim.now, nil, w.p)
 	return true
 }
 
@@ -210,7 +210,7 @@ func (c *Chan) wakeGetter() {
 	if w := c.getters.popLive(); w != nil {
 		w.removed = true
 		w.p.unblock = nil
-		c.sim.Schedule(0, func() { w.p.run(nil) })
+		c.sim.scheduleAt(c.sim.now, nil, w.p)
 	}
 }
 
@@ -218,7 +218,7 @@ func (c *Chan) wakePutter() {
 	if w := c.putters.popLive(); w != nil {
 		w.removed = true
 		w.p.unblock = nil
-		c.sim.Schedule(0, func() { w.p.run(nil) })
+		c.sim.scheduleAt(c.sim.now, nil, w.p)
 	}
 }
 
@@ -255,6 +255,6 @@ func (s *Semaphore) Release() {
 	if w := s.q.popLive(); w != nil {
 		w.removed = true
 		w.p.unblock = nil
-		s.sim.Schedule(0, func() { w.p.run(nil) })
+		s.sim.scheduleAt(s.sim.now, nil, w.p)
 	}
 }

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// The Emit pair isolates the encoder swap: the batched append-style encoder
+// against the json.Marshal reference sink it replaced, on a representative
+// flow event. Gated by cmd/benchguard in BENCH_kernel.json.
+
+func BenchmarkJSONLEmit(b *testing.B) {
+	s := NewJSONL(io.Discard)
+	e := Event{T: 12.5, Type: EvFlowStart, Comp: "netsim", Name: "utk1>ucsd2",
+		Args: []Arg{F("bytes", 1e6), I("hops", 3)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Seq = uint64(i)
+		s.Emit(e)
+	}
+	s.Close()
+}
+
+func BenchmarkJSONLEmitReference(b *testing.B) {
+	s := NewJSONLReference(io.Discard)
+	e := Event{T: 12.5, Type: EvFlowStart, Comp: "netsim", Name: "utk1>ucsd2",
+		Args: []Arg{F("bytes", 1e6), I("hops", 3)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Seq = uint64(i)
+		s.Emit(e)
+	}
+	s.Close()
+}

@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// Hand-rolled JSONL encoding of Event, byte-identical to encoding/json's
+// output for the same value (struct field order, omitempty, ES6-style float
+// formatting, HTML-escaped strings). The per-event json.Marshal it replaces
+// walks the struct through reflection and allocates the result; appendEvent
+// writes straight into the sink's reusable batch buffer, which is what makes
+// JSONL tracing cheap enough for million-event runs. The encoder-equivalence
+// property and fuzz tests in encode_test.go hold the two implementations
+// together; NewJSONLReference keeps the json.Marshal path alive as the
+// oracle.
+
+// appendEvent appends the canonical one-line JSON encoding of e to dst.
+// ok is false — and dst is returned unchanged — when the event cannot be
+// serialized (a NaN/Inf float or an unsupported argument type), matching
+// json.Marshal's error cases so both encoders drop exactly the same events.
+func appendEvent(dst []byte, e *Event) (out []byte, ok bool) {
+	mark := len(dst)
+	dst = append(dst, `{"t":`...)
+	dst, ok = appendJSONFloat(dst, e.T)
+	if !ok {
+		return dst[:mark], false
+	}
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, e.Seq, 10)
+	dst = append(dst, `,"type":`...)
+	dst = appendJSONString(dst, string(e.Type))
+	if e.Comp != "" {
+		dst = append(dst, `,"comp":`...)
+		dst = appendJSONString(dst, e.Comp)
+	}
+	if e.Name != "" {
+		dst = append(dst, `,"name":`...)
+		dst = appendJSONString(dst, e.Name)
+	}
+	if e.Dur != 0 {
+		dst = append(dst, `,"dur":`...)
+		dst, ok = appendJSONFloat(dst, e.Dur)
+		if !ok {
+			return dst[:mark], false
+		}
+	}
+	if len(e.Args) > 0 {
+		dst = append(dst, `,"args":[`...)
+		for i := range e.Args {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			a := &e.Args[i]
+			dst = append(dst, `{"k":`...)
+			dst = appendJSONString(dst, a.Key)
+			dst = append(dst, `,"v":`...)
+			dst, ok = appendJSONValue(dst, a.Val)
+			if !ok {
+				return dst[:mark], false
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, '}')
+	return dst, true
+}
+
+// appendJSONValue encodes one argument value. The documented Arg value
+// types (float64, int, string, bool) are encoded directly; anything else
+// falls back to json.Marshal, whose compact output is identical for every
+// type it supports.
+func appendJSONValue(dst []byte, v any) ([]byte, bool) {
+	switch v := v.(type) {
+	case float64:
+		return appendJSONFloat(dst, v)
+	case int:
+		return strconv.AppendInt(dst, int64(v), 10), true
+	case string:
+		return appendJSONString(dst, v), true
+	case bool:
+		return strconv.AppendBool(dst, v), true
+	case nil:
+		return append(dst, "null"...), true
+	default:
+		b, err := json.Marshal(v)
+		if err != nil {
+			return dst, false
+		}
+		return append(dst, b...), true
+	}
+}
+
+// appendJSONFloat formats f the way encoding/json does: ES6
+// number-to-string conversion ('f' format, switching to 'e' with an
+// unpadded exponent outside [1e-6, 1e21)). NaN and infinities are
+// unencodable, as in json.Marshal.
+func appendJSONFloat(dst []byte, f float64) ([]byte, bool) {
+	if f != f || f > 1.7976931348623157e308 || f < -1.7976931348623157e308 {
+		return dst, false
+	}
+	// Fast path: for an integer-valued float below 2^53 the shortest
+	// round-trip decimal in 'f' format is the integer's own digits, so
+	// plain integer formatting is byte-identical and skips the general
+	// Ryū shortest-float machinery. Telemetry streams are full of such
+	// values (whole-tick times, byte counts, sequence-like args).
+	// Negative zero must not take it: json renders -0.0 as "-0".
+	if i := int64(f); float64(i) == f && i > -(1<<53) && i < 1<<53 && (i != 0 || !math.Signbit(f)) {
+		return strconv.AppendInt(dst, i, 10), true
+	}
+	abs := f
+	if abs < 0 {
+		abs = -abs
+	}
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9
+		n := len(dst)
+		if n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst, true
+}
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes that encoding/json emits verbatim with
+// HTML escaping on (its default): printable characters except the JSON
+// specials '"' and '\\' and the HTML specials '<', '>', '&'.
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		safe[b] = b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+	}
+	return
+}()
+
+// appendJSONString quotes and escapes s exactly as encoding/json's
+// HTML-escaping string encoder does: control characters and HTML specials
+// become escape sequences, invalid UTF-8 bytes become U+FFFD, and U+2028 /
+// U+2029 are escaped for JavaScript embedding.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		switch {
+		case c == utf8.RuneError && size == 1:
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+		case c == '\u2028' || c == '\u2029':
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+		default:
+			i += size
+		}
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

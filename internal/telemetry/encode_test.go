@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// checkEncodeMatches asserts that appendEvent and json.Marshal agree on e:
+// same bytes when both succeed, and the same verdict on encodability.
+func checkEncodeMatches(t *testing.T, e *Event) {
+	t.Helper()
+	want, err := json.Marshal(e)
+	got, ok := appendEvent(nil, e)
+	if (err == nil) != ok {
+		t.Fatalf("encodability disagrees: json.Marshal err=%v, appendEvent ok=%v, event=%+v", err, ok, e)
+	}
+	if err != nil {
+		return
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encoding mismatch:\n got %s\nwant %s\nevent %+v", got, want, e)
+	}
+}
+
+func TestAppendEventMatchesMarshalTable(t *testing.T) {
+	events := []Event{
+		{},
+		{T: 0, Seq: 1, Type: EvProcSpawn},
+		{T: 1.5, Seq: 42, Type: EvFlowStart, Comp: "netsim", Name: "utk1>ucsd2",
+			Args: []Arg{F("bytes", 1e6), I("hops", 3)}},
+		{T: 123.456, Seq: 7, Type: EvSchedDecision, Comp: "core", Name: "qr",
+			Dur: 2.25, Args: []Arg{S("reason", "predicted benefit 100s"), B("migrate", true)}},
+		{T: -0.0, Seq: 0, Type: "x", Dur: -0.0},      // negative zeros: omitempty + "0"
+		{T: 1e21, Seq: 1, Type: "big"},               // 'e' format cutoff
+		{T: 9.999999999999999e20, Seq: 1, Type: "f"}, // just under the cutoff
+		{T: 1e-6, Seq: 1, Type: "small-f"},           // 'f' side of the small cutoff
+		{T: 9.9e-7, Seq: 1, Type: "small-e"},         // 'e' side, exercises e-07 -> e-7
+		{T: -2.5e-9, Seq: 1, Type: "neg-e"},
+		{T: math.MaxFloat64, Seq: 1, Type: "max"},
+		{T: math.SmallestNonzeroFloat64, Seq: 1, Type: "denormal"},
+		{T: 1, Seq: math.MaxUint64, Type: "seqmax"},
+		{T: 1, Seq: 1, Type: "esc", Name: "a\"b\\c\nd\te\rf\bg\fh",
+			Args: []Arg{S("html", "<a href=\"x\">&amp;</a>"), S("ctl", "\x00\x01\x1f")}},
+		{T: 1, Seq: 1, Type: "uni", Name: "héllo wörld ☃",
+			Args: []Arg{S("seps", "a\u2028b\u2029c"), S("bad", "ok\xff\xfe\xc3(")}},
+		{T: 1, Seq: 1, Type: "vals", Args: []Arg{
+			{Key: "neg", Val: -17}, {Key: "nil", Val: nil},
+			{Key: "f0", Val: 0.0}, {Key: "fneg", Val: -1.25},
+			{Key: "false", Val: false},
+			{Key: "i64", Val: int64(9)}, {Key: "u8", Val: uint8(7)}, // fallback types
+		}},
+		{T: 1, Seq: 1, Type: "nan", Args: []Arg{F("x", math.NaN())}},
+		{T: 1, Seq: 1, Type: "inf", Args: []Arg{F("x", math.Inf(1))}},
+		{T: 1, Seq: 1, Type: "neginf", Args: []Arg{F("x", math.Inf(-1))}},
+		{T: 1, Seq: 1, Type: "chan", Args: []Arg{{Key: "bad", Val: make(chan int)}}},
+		{T: 1, Seq: 1, Type: "empty-args", Args: []Arg{}},
+	}
+	for i := range events {
+		checkEncodeMatches(t, &events[i])
+	}
+}
+
+// randomEventString builds strings biased toward escape-relevant content.
+func randomEventString(rng *rand.Rand) string {
+	n := rng.Intn(12)
+	b := make([]byte, 0, n*3)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0: // plain ASCII
+			b = append(b, byte('a'+rng.Intn(26)))
+		case 1: // JSON/HTML specials
+			b = append(b, "\"\\<>&/'"[rng.Intn(7)])
+		case 2: // control bytes
+			b = append(b, byte(rng.Intn(0x20)))
+		case 3: // multi-byte runes, including the JS separators
+			b = append(b, string([]rune{'é', '☃', '\u2028', '\u2029', '世'}[rng.Intn(5)])...)
+		case 4: // raw high bytes (often invalid UTF-8)
+			b = append(b, byte(0x80+rng.Intn(0x80)))
+		default: // spaces and digits
+			b = append(b, " 0123456789.+-"[rng.Intn(14)])
+		}
+	}
+	return string(b)
+}
+
+func randomEventFloat(rng *rand.Rand) float64 {
+	switch rng.Intn(8) {
+	case 0:
+		return 0
+	case 1:
+		return math.Copysign(0, -1)
+	case 2: // around the 'e'-format cutoffs
+		return 1e21 * math.Pow(10, float64(rng.Intn(7)-3)) * (1 + rng.Float64())
+	case 3:
+		return 1e-6 * math.Pow(10, float64(rng.Intn(7)-3)) * rng.Float64()
+	case 4:
+		return float64(rng.Intn(2000)) / 16
+	case 5:
+		return -rng.ExpFloat64() * 1e3
+	case 6:
+		return math.Float64frombits(rng.Uint64()) // any bit pattern: NaN/Inf included
+	default:
+		return rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+	}
+}
+
+func TestAppendEventMatchesMarshalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 5000; i++ {
+		e := Event{
+			T:    randomEventFloat(rng),
+			Seq:  rng.Uint64(),
+			Type: EventType(randomEventString(rng)),
+			Comp: randomEventString(rng),
+			Name: randomEventString(rng),
+		}
+		if rng.Intn(3) == 0 {
+			e.Dur = randomEventFloat(rng)
+		}
+		for j := rng.Intn(4); j > 0; j-- {
+			k := randomEventString(rng)
+			switch rng.Intn(4) {
+			case 0:
+				e.Args = append(e.Args, F(k, randomEventFloat(rng)))
+			case 1:
+				e.Args = append(e.Args, I(k, rng.Intn(1<<20)-1<<19))
+			case 2:
+				e.Args = append(e.Args, S(k, randomEventString(rng)))
+			default:
+				e.Args = append(e.Args, B(k, rng.Intn(2) == 0))
+			}
+		}
+		checkEncodeMatches(t, &e)
+	}
+}
+
+// FuzzJSONLEncode cross-checks the batched encoder against json.Marshal on
+// fuzzer-chosen scalars routed into every string and float position.
+func FuzzJSONLEncode(f *testing.F) {
+	f.Add(0.0, uint64(0), "proc.spawn", "simcore", "w", 0.0, "k", "v")
+	f.Add(1.5, uint64(3), "net.flow.start", "netsim", "a>b", 2.25, "bytes", "<&>\u2028\xff")
+	f.Add(1e21, uint64(1), "x", "", "", -1e-7, "\"", "\\n\x00")
+	f.Add(math.Inf(1), uint64(9), "t", "c", "n", math.NaN(), "f", "g")
+	f.Fuzz(func(t *testing.T, tm float64, seq uint64, typ, comp, name string, dur float64, k, v string) {
+		e := Event{T: tm, Seq: seq, Type: EventType(typ), Comp: comp, Name: name, Dur: dur,
+			Args: []Arg{S(k, v), F(k, dur), I(v, int(seq))}}
+		want, err := json.Marshal(&e)
+		got, ok := appendEvent(nil, &e)
+		if (err == nil) != ok {
+			t.Fatalf("encodability disagrees: err=%v ok=%v", err, ok)
+		}
+		if err == nil && !bytes.Equal(got, want) {
+			t.Fatalf("mismatch:\n got %s\nwant %s", got, want)
+		}
+	})
+}
+
+// TestJSONLMatchesReferenceSink runs the same event stream through the
+// batched sink and the json.Marshal reference sink and requires
+// byte-identical output, including the drop behavior for unserializable
+// events.
+func TestJSONLMatchesReferenceSink(t *testing.T) {
+	var fast, ref bytes.Buffer
+	a, b := NewJSONL(&fast), NewJSONLReference(&ref)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		e := Event{T: randomEventFloat(rng), Seq: uint64(i), Type: EventType(randomEventString(rng)),
+			Comp: randomEventString(rng), Name: randomEventString(rng)}
+		if rng.Intn(4) == 0 {
+			e.Args = []Arg{F("x", randomEventFloat(rng)), S("s", randomEventString(rng))}
+		}
+		a.Emit(e)
+		b.Emit(e)
+	}
+	a.Close()
+	b.Close()
+	if !bytes.Equal(fast.Bytes(), ref.Bytes()) {
+		t.Fatal("batched and reference JSONL streams differ")
+	}
+	if fast.Len() == 0 {
+		t.Fatal("no output produced")
+	}
+}
+
+// TestJSONLFlushBoundary checks that batch flushing never splits or drops
+// lines: emitting far more than one buffer's worth of events yields exactly
+// one well-formed JSON object per event.
+func TestJSONLFlushBoundary(t *testing.T) {
+	var out bytes.Buffer
+	s := NewJSONL(&out)
+	const n = 3000
+	long := string(bytes.Repeat([]byte("x"), 100))
+	for i := 0; i < n; i++ {
+		s.Emit(Event{T: float64(i), Seq: uint64(i), Type: "pad", Name: long})
+	}
+	if out.Len() == 0 {
+		t.Fatal("expected a mid-stream flush before Close")
+	}
+	s.Close()
+	lines := bytes.Split(bytes.TrimSuffix(out.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	for i, ln := range lines {
+		var e Event
+		if err := json.Unmarshal(ln, &e); err != nil {
+			t.Fatalf("line %d unparsable: %v", i, err)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("line %d has seq %d (reordered or dropped)", i, e.Seq)
+		}
+	}
+}
