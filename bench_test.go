@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"grads/internal/apps"
+	"grads/internal/chaossoak"
 	"grads/internal/core"
 	"grads/internal/experiments"
 	"grads/internal/linalg"
@@ -416,6 +417,32 @@ func BenchmarkFaultRecovery(b *testing.B) {
 // the per-event wins are gated in BENCH_kernel.json.
 func BenchmarkE2E(b *testing.B)          { benchmarkE2E(b, telemetry.NewJSONL) }
 func BenchmarkE2EReference(b *testing.B) { benchmarkE2E(b, telemetry.NewJSONLReference) }
+
+// BenchmarkE2ENoFaultBare / Guarded run the identical fault-free soak
+// workload with the resilience guard layer (circuit breakers + retry
+// budgets) absent vs. installed. The benchguard gate requires Guarded to
+// stay within ~2% of Bare (min-speedup 0.98): on a healthy grid the
+// guards must be free, because every service call pays their bookkeeping.
+func BenchmarkE2ENoFaultBare(b *testing.B)    { benchmarkE2ENoFault(b, false) }
+func BenchmarkE2ENoFaultGuarded(b *testing.B) { benchmarkE2ENoFault(b, true) }
+
+func benchmarkE2ENoFault(b *testing.B, guards bool) {
+	cfg := chaossoak.SmokeConfig(1)
+	cfg.NoFaults = true
+	cfg.Guards = guards
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := chaossoak.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Drained || len(r.Violations) != 0 || r.LostJobs != 0 {
+			b.Fatalf("no-fault soak not clean: drained=%v violations=%d lost=%d",
+				r.Drained, len(r.Violations), r.LostJobs)
+		}
+	}
+}
 
 func benchmarkE2E(b *testing.B, newSink func(w io.Writer) *telemetry.JSONL) {
 	cfg := experiments.DefaultChaosConfig()

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"grads/internal/apps"
+	"grads/internal/chaossoak"
 	"grads/internal/experiments"
 	"grads/internal/faultinject"
 	"grads/internal/metasched"
@@ -282,6 +283,61 @@ var registry = map[string]experiment{
 					fmt.Sprint(r.Suspects), fmt.Sprint(r.Retries))
 			}
 			return t.CSV(), nil
+		},
+	},
+	"soak": {
+		title: "extension — chaos soak: invariant harness under a randomized mixed fault schedule",
+		run: func() (string, error) {
+			cfg := experiments.DefaultSoakConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			r, err := experiments.RunSoak(cfg)
+			if err != nil {
+				return "", err
+			}
+			report := "extension — chaos soak: metascheduler + recovery control plane under\n" +
+				"randomized crashes, storms, partitions, outages and checkpoint corruption\n\n" +
+				experiments.FormatSoak(r)
+			if fail := experiments.SoakFailure([]*chaossoak.Result{r}); fail != "" {
+				return "", fmt.Errorf("soak failed: %s\n\n%s", fail, report)
+			}
+			return report, nil
+		},
+		csv: func() (string, error) {
+			cfg := experiments.DefaultSoakConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			r, err := experiments.RunSoak(cfg)
+			if err != nil {
+				return "", err
+			}
+			t := &experiments.Table{Header: []string{"class", "jobs", "done", "failed", "quarantined", "mean_turnaround_s", "mean_requeues"}}
+			for _, c := range r.PerClass {
+				t.Add(c.Class, fmt.Sprint(c.Jobs), fmt.Sprint(c.Done), fmt.Sprint(c.Failed),
+					fmt.Sprint(c.Quarantined), fmt.Sprint(c.MeanTurnaround), fmt.Sprintf("%.2f", c.MeanRequeues))
+			}
+			return t.CSV(), nil
+		},
+	},
+	"soak-smoke": {
+		title: "CI — compressed multi-seed chaos soak (fails on any invariant violation)",
+		run: func() (string, error) {
+			seeds := []int64{1, 2, 3}
+			if s := seedOr(0); s != 0 {
+				seeds = []int64{s}
+			}
+			results, err := experiments.RunSoakSmoke(seeds)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			b.WriteString("CI — compressed chaos soak, one run per seed\n")
+			for _, r := range results {
+				b.WriteString("\n")
+				b.WriteString(experiments.FormatSoak(r))
+			}
+			if fail := experiments.SoakFailure(results); fail != "" {
+				return "", fmt.Errorf("soak smoke failed: %s\n\n%s", fail, b.String())
+			}
+			return b.String(), nil
 		},
 	},
 	"validation": {

@@ -14,6 +14,7 @@ import (
 	"grads/internal/binder"
 	"grads/internal/cop"
 	"grads/internal/faultinject"
+	"grads/internal/ibp"
 	"grads/internal/mpi"
 	"grads/internal/netsim"
 	"grads/internal/nws"
@@ -223,8 +224,12 @@ func (m *Manager) Execute(p *simcore.Proc, app cop.COP, pool []*topology.Node) (
 			// policy): if the COP can roll back to a committed checkpoint,
 			// discard the segment and re-run the lifecycle on the surviving
 			// resources.
+			// Checkpoint corruption is not retryable (re-reading rotted
+			// bytes never heals them) but it IS recoverable: Rollback
+			// re-plans the restore, and the planner skips generations
+			// without an intact verified copy — the lineage fallback.
 			rec, recoverable := app.(cop.Recoverable)
-			if !recoverable || !(isNodeLoss(err) || faultinject.Retryable(err)) {
+			if !recoverable || !(isNodeLoss(err) || faultinject.Retryable(err) || errors.Is(err, ibp.ErrCorrupt)) {
 				return rep, err
 			}
 			rep.Failures++
@@ -277,11 +282,15 @@ func firstDown(nodes []*topology.Node) *topology.Node {
 	return nil
 }
 
-// isNodeLoss classifies an execution error as a recoverable node loss:
-// either the MPI layer reported the crash or a severed transfer surfaced it
-// first.
+// isNodeLoss classifies an execution error as a recoverable infrastructure
+// loss: the MPI layer reported a crash, a severed transfer surfaced it
+// first, or a link on the transfer's route went down (a partition is as
+// transient as a crashed endpoint — the segment rolls back and re-runs,
+// it must not kill the job).
 func isNodeLoss(err error) bool {
-	return errors.Is(err, mpi.ErrNodeLost) || errors.Is(err, netsim.ErrEndpointDown)
+	return errors.Is(err, mpi.ErrNodeLost) ||
+		errors.Is(err, netsim.ErrEndpointDown) ||
+		errors.Is(err, netsim.ErrLinkDown)
 }
 
 // emitRestart publishes an application restart event (migration restart or

@@ -130,23 +130,26 @@ func (q *QR) CurNodes() []*topology.Node { return q.curNodes }
 // ckptKey is the stable checkpoint key of one rank in a P-process layout.
 func ckptKey(me, nProcs int) string { return fmt.Sprintf("qr.r%dof%d", me, nProcs) }
 
-// commitCheckpoints records the restart point and prunes stale blobs so the
-// registered set is exactly the current layout's.
+// commitCheckpoints seals the checkpoint round just written: the restart
+// point plus the exact key set of the current layout, so a restore is
+// always layout-consistent and can fall back to the previous sealed round
+// if this one rots.
 func (q *QR) commitCheckpoints(nProcs, marker int) {
-	q.rss.SetResumeMarker(marker)
 	keys := make([]string, nProcs)
 	for i := range keys {
 		keys[i] = ckptKey(i, nProcs)
 	}
-	q.rss.PruneExcept(keys)
+	q.rss.Commit(marker, keys)
 }
 
 // Rollback implements cop.Recoverable: after a failure, progress reverts to
-// the last committed checkpoint (or to the beginning when none exists).
+// the newest checkpoint generation that still verifies (or to the
+// beginning when none does).
 func (q *QR) Rollback() bool {
-	q.donePanels = q.rss.ResumeMarker()
+	marker, ok := q.rss.PlanRestore()
+	q.donePanels = marker
 	q.lastPanelActual, q.lastPanelPredicted = 0, 0
-	return len(q.rss.Checkpoints()) > 0
+	return ok
 }
 
 // FailCurrentNode injects a failure of the i-th node of the current

@@ -132,11 +132,13 @@ func (f *TaskFarm) RestartOverhead() float64 {
 	return 2 + 10 + f.bind.EstimateOverhead(f.Pkg(), nodes) + 3
 }
 
-// Rollback implements cop.Recoverable.
+// Rollback implements cop.Recoverable: progress reverts to the newest
+// checkpoint generation that still verifies.
 func (f *TaskFarm) Rollback() bool {
-	f.doneTasks = f.rss.ResumeMarker()
+	marker, ok := f.rss.PlanRestore()
+	f.doneTasks = marker
 	f.lastRoundActual, f.lastRoundPredicted = 0, 0
-	return len(f.rss.Checkpoints()) > 0
+	return ok
 }
 
 // PredictedRoundSensor and ActualRoundSensor expose the farm's contract
@@ -154,15 +156,14 @@ func (f *TaskFarm) ActualRoundSensor() func() (float64, bool) {
 // layout.
 func farmCkptKey(me, nProcs int) string { return fmt.Sprintf("farm.r%dof%d", me, nProcs) }
 
-// commitCheckpoints records the restart point and prunes blobs from stale
-// layouts.
+// commitCheckpoints seals the checkpoint round just written under the
+// current layout's key set.
 func (f *TaskFarm) commitCheckpoints(nProcs, marker int) {
-	f.rss.SetResumeMarker(marker)
 	keys := make([]string, nProcs)
 	for i := range keys {
 		keys[i] = farmCkptKey(i, nProcs)
 	}
-	f.rss.PruneExcept(keys)
+	f.rss.Commit(marker, keys)
 }
 
 // Run implements cop.COP: one execution segment on nodes. Each round farms

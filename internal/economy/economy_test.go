@@ -212,3 +212,28 @@ func TestQuickMarketConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpotPriceStaysFiniteUnderSustainedOverload(t *testing.T) {
+	sp := NewSpotPricer(1, 0.1)
+	for i := 0; i < 100000; i++ {
+		sp.Observe(1<<20, 1) // massively oversubscribed every round
+	}
+	if math.IsInf(sp.Price(), 0) || math.IsNaN(sp.Price()) {
+		t.Fatalf("price overflowed: %v", sp.Price())
+	}
+	if sp.Price() > 1*maxPriceFactor {
+		t.Fatalf("price %v above ceiling", sp.Price())
+	}
+	// Ordering must survive at the ceiling: higher bids still rank higher.
+	if !(sp.EffectivePriority(5) > sp.EffectivePriority(1)) {
+		t.Fatalf("priorities collapsed at the ceiling: %v vs %v",
+			sp.EffectivePriority(5), sp.EffectivePriority(1))
+	}
+	// And the price decays back once the pool idles.
+	for i := 0; i < 1000000 && sp.Price() > sp.Floor; i++ {
+		sp.Observe(0, 10)
+	}
+	if sp.Price() != sp.Floor {
+		t.Fatalf("price did not decay to floor: %v", sp.Price())
+	}
+}

@@ -33,8 +33,17 @@ func NewSpotPricer(floor, alpha float64) *SpotPricer {
 // Price returns the current posted price per node-round.
 func (sp *SpotPricer) Price() float64 { return sp.price }
 
+// maxPriceFactor caps the posted price at this multiple of the floor.
+// Tâtonnement under sustained oversubscription is multiplicative, so an
+// uncapped price eventually overflows to +Inf — which collapses every
+// effective priority to zero and makes the price unserializable.
+// Effective priorities are bids divided by the one shared price, so the
+// cap can never reorder the queue; it only keeps the arithmetic finite.
+const maxPriceFactor = 1e12
+
 // Observe feeds one round's demand (queued node demand) and supply (free
-// nodes) into the tâtonnement adjustment, floored at the cost floor.
+// nodes) into the tâtonnement adjustment, clamped between the cost floor
+// and the overflow ceiling.
 func (sp *SpotPricer) Observe(demand, supply int) {
 	if supply < 1 {
 		supply = 1
@@ -43,6 +52,9 @@ func (sp *SpotPricer) Observe(demand, supply int) {
 	sp.price *= 1 + sp.Alpha*excess
 	if sp.price < sp.Floor {
 		sp.price = sp.Floor
+	}
+	if ceil := sp.Floor * maxPriceFactor; sp.price > ceil {
+		sp.price = ceil
 	}
 }
 

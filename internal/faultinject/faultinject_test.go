@@ -24,20 +24,21 @@ func testGrid(sim *simcore.Sim) *topology.Grid {
 
 func TestParseSpecRoundTrip(t *testing.T) {
 	spec := "outage@10-40:nws;crash@100-400:a1;slow@150-300:a2:4;" +
-		"linkslow@50-90:lan:A:0.25;linkdown@200-260:wan:A|B;lag@20:gis:0.5"
+		"linkslow@50-90:lan:A:0.25;linkdown@200-260:wan:A|B;lag@20:gis:0.5;" +
+		"ckptcorrupt@300-500:a1;storm@600-700:a:2"
 	events, err := ParseSpec(spec)
 	if err != nil {
 		t.Fatalf("ParseSpec: %v", err)
 	}
-	if len(events) != 6 {
-		t.Fatalf("parsed %d events, want 6", len(events))
+	if len(events) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(events))
 	}
 	// Link targets keep their internal colons.
 	found := map[string]bool{}
 	for _, e := range events {
 		found[string(e.Kind)+":"+e.Target] = true
 	}
-	for _, want := range []string{"linkslow:lan:A", "linkdown:wan:A|B", "lag:gis"} {
+	for _, want := range []string{"linkslow:lan:A", "linkdown:wan:A|B", "lag:gis", "ckptcorrupt:a1", "storm:a"} {
 		if !found[want] {
 			t.Fatalf("missing %q in parsed events %v", want, events)
 		}
@@ -76,6 +77,9 @@ func TestParseSpecErrors(t *testing.T) {
 		{"malformed start of window", "crash@x-10:a1", `bad start time "x"`},
 		{"malformed end of window", "crash@10-y:a1", `bad end time "y"`},
 		{"bad event among good ones", "crash@10:a1;lag@5:gis", "needs a ':value' suffix"},
+		{"storm without count", "storm@10:utk", "needs a ':value' suffix"},
+		{"storm fractional count", "storm@10:utk:0.5", "below 1"},
+		{"storm zero count", "storm@10:utk:0", "below 1"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -164,6 +168,105 @@ func TestInjectorExecutesTimeline(t *testing.T) {
 	}
 	if in.Skipped() != 1 {
 		t.Fatalf("skipped=%d, want 1 (unknown target)", in.Skipped())
+	}
+}
+
+// fakeCorruptor records ckptcorrupt actions, standing in for ibp.System.
+type fakeCorruptor struct {
+	rotted     []string
+	corrupting map[string]bool
+}
+
+func (f *fakeCorruptor) CorruptAll(node string) int {
+	f.rotted = append(f.rotted, node)
+	return len(f.rotted)
+}
+
+func (f *fakeCorruptor) SetCorrupting(node string, on bool) bool {
+	if f.corrupting == nil {
+		f.corrupting = make(map[string]bool)
+	}
+	f.corrupting[node] = on
+	return true
+}
+
+func TestInjectorCkptCorruptWindow(t *testing.T) {
+	sim := simcore.New(1)
+	g := testGrid(sim)
+	in := NewInjector(sim, g)
+	fc := &fakeCorruptor{}
+	in.RegisterStorage(fc)
+	// A windowed corruption on a1 plus one on an unknown node (skipped).
+	if err := in.LoadSpec("ckptcorrupt@10-30:a1;ckptcorrupt@10:nosuch"); err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	in.Start()
+	var midWindow, after bool
+	sim.At(20, func() { midWindow = fc.corrupting["a1"] })
+	sim.At(40, func() { after = fc.corrupting["a1"] })
+	sim.Run()
+	if len(fc.rotted) != 1 || fc.rotted[0] != "a1" {
+		t.Fatalf("rotted %v, want one bit-rot pass on a1", fc.rotted)
+	}
+	if !midWindow || after {
+		t.Fatalf("corrupting window mid=%v after=%v, want open then closed", midWindow, after)
+	}
+	if in.Skipped() != 1 {
+		t.Fatalf("skipped=%d, want 1 (unknown node)", in.Skipped())
+	}
+}
+
+func TestInjectorStormCrashesAndRevivesVictimSet(t *testing.T) {
+	sim := simcore.New(1)
+	g := testGrid(sim)
+	in := NewInjector(sim, g)
+	// 2 a-prefixed victims; b1 crashes independently inside the window and
+	// must NOT be revived by the storm's recovery.
+	if err := in.LoadSpec("storm@10-50:a:2;crash@20:b1"); err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	in.Start()
+	var duringA1, duringA2, duringB1 bool
+	sim.At(30, func() {
+		duringA1, duringA2, duringB1 = g.Node("a1").Down(), g.Node("a2").Down(), g.Node("b1").Down()
+	})
+	sim.Run()
+	if !duringA1 || !duringA2 || !duringB1 {
+		t.Fatalf("mid-storm down states a1=%v a2=%v b1=%v, want all down", duringA1, duringA2, duringB1)
+	}
+	if g.Node("a1").Down() || g.Node("a2").Down() {
+		t.Fatal("storm recovery did not revive its victim set")
+	}
+	if !g.Node("b1").Down() {
+		t.Fatal("storm recovery revived b1, which crashed independently")
+	}
+}
+
+func TestInjectorStormPicksLiveSortedPrefix(t *testing.T) {
+	sim := simcore.New(1)
+	g := testGrid(sim)
+	in := NewInjector(sim, g)
+	// a1 is already down when the storm hits, so the 1-victim storm must
+	// fall on a2 (next in sorted order), and the wildcard storm at t=30
+	// takes whatever is still alive.
+	g.SetNodeDown("a1", true)
+	if err := in.LoadSpec("storm@10:a:1;storm@30:*:5"); err != nil {
+		t.Fatalf("LoadSpec: %v", err)
+	}
+	in.Start()
+	var a2AtTwenty bool
+	sim.At(20, func() { a2AtTwenty = g.Node("a2").Down() })
+	sim.Run()
+	if !a2AtTwenty {
+		t.Fatal("storm skipped the live sorted-prefix victim a2")
+	}
+	for _, n := range g.Nodes() {
+		if !n.Down() {
+			t.Fatalf("wildcard storm left %s alive", n.Name())
+		}
+	}
+	if in.Injected() != 2 {
+		t.Fatalf("injected=%d, want 2", in.Injected())
 	}
 }
 

@@ -30,6 +30,9 @@ func FuzzParseSpec(f *testing.F) {
 		";;;",
 		"crash@@:x",
 		"linkslow@1:l:0",
+		"ckptcorrupt@300-500:qr1",
+		"storm@600-700:utk:3",
+		"storm@600:*:1;ckptcorrupt@1:a;storm@2:x:0.5",
 	} {
 		f.Add(seed)
 	}
@@ -60,6 +63,8 @@ func FuzzParseSpec(f *testing.F) {
 			switch {
 			case e.Kind == KindLinkSlow && (e.Value <= 0 || e.Value > 1):
 				t.Fatalf("accepted %q with linkslow factor %v outside (0,1]", spec, e.Value)
+			case e.Kind == KindStorm && e.Value < 1:
+				t.Fatalf("accepted %q with storm count %v below 1", spec, e.Value)
 			case kindHasValue(e.Kind) && e.Value <= 0:
 				t.Fatalf("accepted %q with non-positive value %v", spec, e.Value)
 			}

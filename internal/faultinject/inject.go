@@ -3,6 +3,7 @@ package faultinject
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"grads/internal/simcore"
 	"grads/internal/telemetry"
@@ -18,7 +19,13 @@ type Injector struct {
 	grid *topology.Grid
 
 	services map[string]*Health
+	storage  Corruptor
 	actions  []action
+
+	// stormVictims remembers, per windowed storm event, exactly which live
+	// nodes its injection crashed, so recovery revives that set and no
+	// other (a node that crashed independently mid-storm stays down).
+	stormVictims map[Event][]string
 
 	proc    *simcore.Proc
 	stopped bool
@@ -37,8 +44,25 @@ type action struct {
 
 // NewInjector creates an injector over the grid with no schedule loaded.
 func NewInjector(sim *simcore.Sim, grid *topology.Grid) *Injector {
-	return &Injector{sim: sim, grid: grid, services: make(map[string]*Health)}
+	return &Injector{
+		sim: sim, grid: grid,
+		services:     make(map[string]*Health),
+		stormVictims: make(map[Event][]string),
+	}
 }
+
+// Corruptor is the storage surface ckptcorrupt events drive: marking every
+// resident blob on a node's depot corrupt, and opening/closing a window in
+// which new writes land torn. *ibp.System implements it; the interface
+// keeps this package free of an import cycle with ibp.
+type Corruptor interface {
+	CorruptAll(node string) int
+	SetCorrupting(node string, on bool) bool
+}
+
+// RegisterStorage attaches the depot system ckptcorrupt events target.
+// Without it, ckptcorrupt actions are skipped and counted in Skipped.
+func (in *Injector) RegisterStorage(c Corruptor) { in.storage = c }
 
 // RegisterService attaches a service Health under the name fault specs use
 // (gis, nws, binder, ibp). Outage and lag events whose target has no
@@ -162,6 +186,31 @@ func (in *Injector) apply(a action) {
 			}
 			ok = true
 		}
+	case KindCkptCorrupt:
+		if in.storage != nil && in.grid.Node(a.ev.Target) != nil {
+			if a.recover {
+				ok = in.storage.SetCorrupting(a.ev.Target, false)
+			} else if in.storage.CorruptAll(a.ev.Target) >= 0 {
+				in.storage.SetCorrupting(a.ev.Target, true)
+				ok = true
+			}
+		}
+	case KindStorm:
+		if a.recover {
+			for _, name := range in.stormVictims[a.ev] {
+				in.grid.SetNodeDown(name, false)
+			}
+			delete(in.stormVictims, a.ev)
+			ok = true
+		} else if victims := in.stormPick(a.ev.Target, int(a.ev.Value)); len(victims) > 0 {
+			for _, name := range victims {
+				in.grid.SetNodeDown(name, true)
+			}
+			if a.ev.End > a.ev.Start {
+				in.stormVictims[a.ev] = victims
+			}
+			ok = true
+		}
 	}
 	if !ok {
 		in.skipped++
@@ -188,6 +237,29 @@ func (in *Injector) apply(a action) {
 	}
 }
 
+// stormPick selects the first count live nodes whose names match the storm
+// prefix ("*" matches everything), in sorted name order so the victim set
+// is the same run after run.
+func (in *Injector) stormPick(prefix string, count int) []string {
+	if count <= 0 {
+		return nil
+	}
+	var names []string
+	for _, n := range in.grid.Nodes() {
+		if n.Down() {
+			continue
+		}
+		if prefix == "*" || strings.HasPrefix(n.Name(), prefix) {
+			names = append(names, n.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) > count {
+		names = names[:count]
+	}
+	return names
+}
+
 func verb(rec bool) string {
 	if rec {
 		return "recover"
@@ -208,8 +280,9 @@ type HealthSetter interface{ SetHealth(*Health) }
 
 // Wire creates a Health per named service, installs it on the service, and
 // registers it with the injector under the spec-grammar name (gis, nws,
-// binder, ibp). Nil services are skipped. It returns the injector for
-// chaining.
+// binder, ibp). Nil services are skipped. A storage service that also
+// implements Corruptor (ibp.System does) is registered as the ckptcorrupt
+// target. It returns the injector for chaining.
 func Wire(in *Injector, gis, nws, binder, ibp HealthSetter) *Injector {
 	wire := func(name string, svc HealthSetter) {
 		if svc == nil {
@@ -223,6 +296,9 @@ func Wire(in *Injector, gis, nws, binder, ibp HealthSetter) *Injector {
 	wire("nws", nws)
 	wire("binder", binder)
 	wire("ibp", ibp)
+	if c, ok := ibp.(Corruptor); ok {
+		in.RegisterStorage(c)
+	}
 	return in
 }
 

@@ -32,6 +32,15 @@ const (
 	// KindLag adds Value seconds of latency to every call of a grid
 	// service; recovery removes the penalty.
 	KindLag Kind = "lag"
+	// KindCkptCorrupt rots every checkpoint blob resident on the target
+	// node's IBP depot and tears (partially writes) new blobs landing there
+	// until recovery — the storage-integrity fault the SRS checksum and
+	// lineage-fallback machinery defends against.
+	KindCkptCorrupt Kind = "ckptcorrupt"
+	// KindStorm crashes a correlated burst of Value live nodes whose names
+	// start with the target prefix ("*" matches every node); recovery
+	// brings exactly that victim set back.
+	KindStorm Kind = "storm"
 )
 
 // Event is one scheduled fault: injected at Start and, when End > Start,
@@ -79,7 +88,7 @@ func parseFinite(s string) (float64, error) {
 // kindHasValue reports whether the kind carries a magnitude argument.
 func kindHasValue(k Kind) bool {
 	switch k {
-	case KindSlow, KindLinkSlow, KindLag:
+	case KindSlow, KindLinkSlow, KindLag, KindStorm:
 		return true
 	}
 	return false
@@ -100,12 +109,14 @@ func FormatSpec(events []Event) string {
 //	spec  := event (';' event)*
 //	event := kind '@' start [ '-' end ] ':' target [ ':' value ]
 //
-// where kind is one of crash, slow, linkdown, linkslow, outage, lag; start
-// and end are virtual-time seconds; target is a node name (crash, slow), a
-// netsim link name such as "lan:UT" or "wan:UIUC|UT" (linkdown, linkslow),
-// or a service name gis|nws|binder|ibp (outage, lag); and value is the
-// kind's magnitude (slow: added load units, linkslow: capacity factor in
-// (0,1], lag: seconds per call). Omitting "-end" makes the fault permanent.
+// where kind is one of crash, slow, linkdown, linkslow, outage, lag,
+// ckptcorrupt, storm; start and end are virtual-time seconds; target is a
+// node name (crash, slow, ckptcorrupt), a node-name prefix or "*" (storm),
+// a netsim link name such as "lan:UT" or "wan:UIUC|UT" (linkdown,
+// linkslow), or a service name gis|nws|binder|ibp (outage, lag); and value
+// is the kind's magnitude (slow: added load units, linkslow: capacity
+// factor in (0,1], lag: seconds per call, storm: how many live matching
+// nodes crash). Omitting "-end" makes the fault permanent.
 //
 // Examples:
 //
@@ -116,6 +127,8 @@ func FormatSpec(events []Event) string {
 //	linkdown@200-260:wan:UIUC|UT       WAN partition for 60 s
 //	outage@10-40:nws                   NWS outage
 //	lag@10-40:gis:0.5                  every GIS call pays +0.5 s
+//	ckptcorrupt@300-500:qr1            qr1's depot rots and tears writes
+//	storm@600-700:utk:3                3 utk* nodes crash together
 func ParseSpec(spec string) ([]Event, error) {
 	var events []Event
 	for _, part := range strings.Split(spec, ";") {
@@ -143,7 +156,7 @@ func parseEvent(s string) (Event, error) {
 	}
 	kind := Kind(strings.ToLower(strings.TrimSpace(s[:at])))
 	switch kind {
-	case KindCrash, KindSlow, KindLinkDown, KindLinkSlow, KindOutage, KindLag:
+	case KindCrash, KindSlow, KindLinkDown, KindLinkSlow, KindOutage, KindLag, KindCkptCorrupt, KindStorm:
 	default:
 		return Event{}, fmt.Errorf("unknown kind %q", string(kind))
 	}
@@ -185,6 +198,8 @@ func parseEvent(s string) (Event, error) {
 		switch {
 		case kind == KindLinkSlow && (e.Value <= 0 || e.Value > 1):
 			return Event{}, fmt.Errorf("linkslow factor %g outside (0,1]", e.Value)
+		case kind == KindStorm && e.Value < 1:
+			return Event{}, fmt.Errorf("storm count %g below 1", e.Value)
 		case kind != KindLinkSlow && e.Value <= 0:
 			return Event{}, fmt.Errorf("value %g must be positive", e.Value)
 		}

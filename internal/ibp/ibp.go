@@ -24,15 +24,32 @@ import (
 // to a replica on another depot.
 var ErrDepotDown = fmt.Errorf("%w: ibp depot node down", faultinject.ErrUnavailable)
 
+// ErrCorrupt is returned when a read touches a blob whose stored bits are
+// corrupt. It does NOT wrap ErrUnavailable: re-reading the same depot will
+// never heal bit rot, so retry loops must not burn their budget on it —
+// the caller falls back to a replica or an older generation instead.
+var ErrCorrupt = fmt.Errorf("ibp: blob corrupt")
+
 // DefaultDiskRate is the local disk throughput of a depot in bytes/s
 // (2003-era IDE disk).
 const DefaultDiskRate = 40e6
 
+// blob is one stored allocation: its size, the checksum the writer
+// declared (0 when the writer did not checksum), and whether the stored
+// bits have rotted — either an injected bit-rot event or a partial write
+// during a corruption window.
+type blob struct {
+	bytes   float64
+	sum     uint64
+	corrupt bool
+}
+
 // Depot is a storage allocation server on one node.
 type Depot struct {
-	node     *topology.Node
-	diskRate float64
-	blobs    map[string]float64 // key -> size in bytes
+	node       *topology.Node
+	diskRate   float64
+	blobs      map[string]blob // key -> stored allocation
+	corrupting bool            // writes land partially (torn) while set
 }
 
 // Node returns the node hosting the depot.
@@ -42,7 +59,7 @@ func (d *Depot) Node() *topology.Node { return d.node }
 func (d *Depot) Stored() float64 {
 	sum := 0.0
 	for _, b := range d.blobs {
-		sum += b
+		sum += b.bytes
 	}
 	return sum
 }
@@ -83,7 +100,7 @@ func (s *System) AddDepot(node *topology.Node, diskRate float64) *Depot {
 	if diskRate <= 0 {
 		diskRate = DefaultDiskRate
 	}
-	d := &Depot{node: node, diskRate: diskRate, blobs: make(map[string]float64)}
+	d := &Depot{node: node, diskRate: diskRate, blobs: make(map[string]blob)}
 	s.depots[node.Name()] = d
 	return d
 }
@@ -105,6 +122,14 @@ func (s *System) Depot(node string) *Depot { return s.depots[node] }
 // process running on fromNode. The caller pays network transfer (if the
 // depot is remote) plus disk write time. Storing an existing key replaces it.
 func (s *System) Store(p *simcore.Proc, from, depotNode *topology.Node, key string, bytes float64) error {
+	return s.StoreSum(p, from, depotNode, key, bytes, 0)
+}
+
+// StoreSum is Store with a writer-declared checksum recorded alongside the
+// blob, so readers can verify integrity (Verify) before paying for the
+// read. A depot inside a corruption window tears the write: the blob lands
+// but is marked corrupt.
+func (s *System) StoreSum(p *simcore.Proc, from, depotNode *topology.Node, key string, bytes float64, sum uint64) error {
 	d := s.depots[depotNode.Name()]
 	if d == nil {
 		return fmt.Errorf("ibp: no depot on %q", depotNode.Name())
@@ -127,7 +152,7 @@ func (s *System) Store(p *simcore.Proc, from, depotNode *topology.Node, key stri
 	if err := p.Sleep(bytes / d.diskRate); err != nil {
 		return err
 	}
-	d.blobs[key] = bytes
+	d.blobs[key] = blob{bytes: bytes, sum: sum, corrupt: d.corrupting}
 	return nil
 }
 
@@ -139,10 +164,14 @@ func (s *System) Retrieve(p *simcore.Proc, depotNode, to *topology.Node, key str
 	if d == nil {
 		return 0, fmt.Errorf("ibp: no depot on %q", depotNode.Name())
 	}
-	bytes, ok := d.blobs[key]
+	b, ok := d.blobs[key]
 	if !ok {
 		return 0, fmt.Errorf("ibp: key %q not in depot on %q", key, depotNode.Name())
 	}
+	if b.corrupt {
+		return 0, fmt.Errorf("%w: %q on %q", ErrCorrupt, key, depotNode.Name())
+	}
+	bytes := b.bytes
 	if err := s.check(p, d); err != nil {
 		return 0, err
 	}
@@ -166,12 +195,15 @@ func (s *System) RetrievePartial(p *simcore.Proc, depotNode, to *topology.Node, 
 	if d == nil {
 		return 0, fmt.Errorf("ibp: no depot on %q", depotNode.Name())
 	}
-	stored, ok := d.blobs[key]
+	b, ok := d.blobs[key]
 	if !ok {
 		return 0, fmt.Errorf("ibp: key %q not in depot on %q", key, depotNode.Name())
 	}
-	if bytes > stored {
-		bytes = stored
+	if b.corrupt {
+		return 0, fmt.Errorf("%w: %q on %q", ErrCorrupt, key, depotNode.Name())
+	}
+	if bytes > b.bytes {
+		bytes = b.bytes
 	}
 	if bytes <= 0 {
 		return 0, nil
@@ -225,7 +257,50 @@ func (s *System) Size(depotNode, key string) (float64, bool) {
 		return 0, false
 	}
 	b, ok := d.blobs[key]
-	return b, ok
+	return b.bytes, ok
+}
+
+// Verify reports whether key on depotNode exists, is not corrupt, and
+// carries the expected checksum. Like Size it is a free metadata check —
+// the reader verifies before paying disk and network for the data.
+func (s *System) Verify(depotNode, key string, sum uint64) bool {
+	d := s.depots[depotNode]
+	if d == nil {
+		return false
+	}
+	b, ok := d.blobs[key]
+	return ok && !b.corrupt && b.sum == sum
+}
+
+// SetCorrupting opens or closes a partial-write window on the depot of
+// node: while open, every write lands torn (marked corrupt). It reports
+// whether the node has a depot.
+func (s *System) SetCorrupting(node string, on bool) bool {
+	d := s.depots[node]
+	if d == nil {
+		return false
+	}
+	d.corrupting = on
+	return true
+}
+
+// CorruptAll rots every blob currently resident on the depot of node (the
+// bit-rot half of a ckptcorrupt fault) and returns how many it touched,
+// or -1 when the node has no depot.
+func (s *System) CorruptAll(node string) int {
+	d := s.depots[node]
+	if d == nil {
+		return -1
+	}
+	n := 0
+	for k, b := range d.blobs {
+		if !b.corrupt {
+			b.corrupt = true
+			d.blobs[k] = b
+			n++
+		}
+	}
+	return n
 }
 
 // Delete removes key from the depot on depotNode, if present.

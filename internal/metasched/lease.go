@@ -232,6 +232,34 @@ func (m *LeaseManager) reclaim(n *topology.Node) {
 	}
 }
 
+// Audit structurally checks the ledger: every leased node is owned by
+// exactly the lease that lists it, no live lease holds a down node (the
+// crash watcher reclaims synchronously, so one ever appearing means a
+// reclaim was lost), and the leased-node gauge equals both the ownership
+// map and the sum of lease sizes. The chaos soak calls it every tick; any
+// error is an accounting bug, not a tolerable transient.
+func (m *LeaseManager) Audit() error {
+	total := 0
+	for _, l := range m.leases {
+		total += len(l.nodes)
+		for _, n := range l.nodes {
+			if m.owner[n] != l {
+				return fmt.Errorf("lease audit: node %s listed by lease %d but owned by another", n.Name(), l.ID)
+			}
+			if n.Down() {
+				return fmt.Errorf("lease audit: down node %s still held by lease %d (reclaim lost)", n.Name(), l.ID)
+			}
+		}
+	}
+	if total != len(m.owner) {
+		return fmt.Errorf("lease audit: %d nodes in lease sets but %d ownership entries", total, len(m.owner))
+	}
+	if total != m.leasedNow {
+		return fmt.Errorf("lease audit: %d nodes in lease sets but leased-node gauge reads %d", total, m.leasedNow)
+	}
+	return nil
+}
+
 // Free filters a pool down to live, unleased nodes, sorted by name.
 func (m *LeaseManager) Free(pool []*topology.Node) []*topology.Node {
 	var out []*topology.Node

@@ -65,6 +65,78 @@ func TestReclaimDuringInFlightPreemption(t *testing.T) {
 	}
 }
 
+// TestCrashDuringShrinkUnderPartition: a node crashes while a preemption
+// shrink is in flight AND the grid is WAN-partitioned. The partition is a
+// network event and must not touch lease state; the crash must be
+// reclaimed exactly once even when reported twice (e.g. a storm plus the
+// detector sweep both observing it); the late shrink converges on the live
+// subset; and the busy-node-seconds integral must balance against the
+// piecewise lease-size timeline to the second.
+func TestCrashDuringShrinkUnderPartition(t *testing.T) {
+	r := newRig(1)
+	lm := NewLeaseManager(r.sim, r.grid)
+	nodes := sortedByName(r.grid.Nodes())
+	utk := nodes[len(nodes)-4:] // utk1..utk4 sort after uiuc*
+	l, err := lm.Grant("victim", utk)
+	if err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	keep := utk[:2]
+	reclaims := 0
+	lm.OnReclaim(func(*Lease, *topology.Node) { reclaims++ })
+
+	// t=10: the WAN partitions. Leases are broker-side state, not flows.
+	r.sim.At(10, func() {
+		wan := r.grid.Net.Link("wan:UIUC|UTK")
+		if wan == nil {
+			t.Error("no wan:UIUC|UTK link in the QR testbed")
+			return
+		}
+		r.grid.Net.SetLinkDown(wan, true)
+		if err := lm.Audit(); err != nil {
+			t.Errorf("audit after partition: %v", err)
+		}
+		if l.Size() != 4 {
+			t.Errorf("partition changed lease size to %d", l.Size())
+		}
+	})
+	// t=15: a kept node crashes mid-partition, and the crash is reported
+	// twice within the same instant.
+	r.sim.At(15, func() { r.grid.SetNodeDown(keep[1].Name(), true) })
+	r.sim.At(15, func() { r.grid.SetNodeDown(keep[1].Name(), true) })
+	// t=20: the victim's stop completes and the stale shrink is applied.
+	var freed []*topology.Node
+	r.sim.At(20, func() {
+		freed = lm.Shrink(l, keep)
+		if err := lm.Audit(); err != nil {
+			t.Errorf("audit after shrink: %v", err)
+		}
+	})
+	// t=30: the partition heals; again no lease movement.
+	r.sim.At(30, func() {
+		r.grid.Net.SetLinkDown(r.grid.Net.Link("wan:UIUC|UTK"), false)
+	})
+	r.sim.RunUntil(40)
+
+	if reclaims != 1 || lm.Reclaimed() != 1 {
+		t.Fatalf("crash under partition reclaimed %d/%d times, want exactly 1", reclaims, lm.Reclaimed())
+	}
+	if l.Size() != 1 || l.Nodes()[0] != keep[0] {
+		t.Fatalf("lease holds %v, want [%s]", l.Nodes(), keep[0].Name())
+	}
+	if len(freed) != 2 {
+		t.Fatalf("shrink freed %d nodes, want the 2 live non-kept ones", len(freed))
+	}
+	if err := lm.Audit(); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+	// Busy integral: 4 nodes over [0,15), 3 over [15,20), 1 over [20,40].
+	want := 4*15.0 + 3*5.0 + 1*20.0
+	if got := lm.BusyNodeSeconds(); got != want {
+		t.Fatalf("busy node-seconds = %v, want %v", got, want)
+	}
+}
+
 // TestDoubleCrashSameNodeWithinOneTick: the same node crashing twice at one
 // virtual instant — both the degenerate repeat (already down) and the
 // crash/recover/crash sequence — must reclaim the node from its lease

@@ -9,6 +9,7 @@ import (
 	"grads/internal/binder"
 	"grads/internal/cop"
 	"grads/internal/economy"
+	"grads/internal/faultinject"
 	"grads/internal/gis"
 	"grads/internal/ibp"
 	"grads/internal/nws"
@@ -29,6 +30,11 @@ const (
 	JobRunning                 // on a lease, under its application manager
 	JobDone
 	JobFailed
+	// JobQuarantined is the terminal state of a poison job: one that
+	// exhausted its requeue cap without completing. Quarantine is graceful
+	// degradation — the job stops consuming admission rounds and leases,
+	// but stays accounted for (it is not lost).
+	JobQuarantined
 )
 
 // String names the state for reports.
@@ -44,6 +50,8 @@ func (s JobState) String() string {
 		return "done"
 	case JobFailed:
 		return "failed"
+	case JobQuarantined:
+		return "quarantined"
 	}
 	return "unknown"
 }
@@ -105,10 +113,15 @@ type Job struct {
 	preemptPending bool
 	preemptions    int // shrinks actually applied
 	requeues       int
+	notBefore      float64 // requeue backoff: ineligible for admission until then
 }
 
 // State returns the job's lifecycle position.
 func (j *Job) State() JobState { return j.state }
+
+// RSS returns the job's private checkpoint service (nil until arrival).
+// The chaos soak audits its integrity counters through this.
+func (j *Job) RSS() *srs.RSS { return j.rss }
 
 // Report returns the application manager's phase report (nil until done).
 func (j *Job) Report() *appmgr.Report { return j.report }
@@ -180,6 +193,23 @@ type Config struct {
 	// not at the next tick).
 	DetectorPeriod float64
 
+	// MaxRequeues, when positive, caps how many times a job may lose its
+	// lease and re-enter the queue before the broker quarantines it as a
+	// poison job (terminal, but accounted — never silently lost). Zero
+	// means unlimited requeues.
+	MaxRequeues int
+	// RequeueBackoff, when positive, is the base of an exponential
+	// re-admission delay: after its k-th requeue a job is ineligible for
+	// RequeueBackoff * 2^(k-1) seconds (capped at 64x base), so a job
+	// bouncing off a sick grid stops thrashing the admission loop.
+	RequeueBackoff float64
+	// BrownoutSuspects, when positive, is the detector-storm threshold: an
+	// admission round that sees at least this many nodes simultaneously
+	// suspected down sheds its admissions entirely (leases and running
+	// jobs are untouched) instead of placing work on a grid in mid-
+	// collapse. Requires DetectorPeriod > 0 to have any effect.
+	BrownoutSuspects int
+
 	// OnIdle, when set, fires once when the last submitted job finishes.
 	OnIdle func()
 }
@@ -206,6 +236,8 @@ type Scheduler struct {
 	preemptOrders  int // stop-and-shrink orders issued
 	preemptApplied int // shrinks that took effect
 	violations     int // contract violations reported
+	quarantined    int // poison jobs retired by the requeue cap
+	brownouts      int // admission rounds shed by detector storms
 }
 
 // New creates a Scheduler. Submit jobs, then Start it before running the
@@ -393,6 +425,23 @@ func (s *Scheduler) round(p *simcore.Proc) {
 	s.inRound = true
 	defer func() { s.inRound = false }()
 
+	// Brownout: a detector storm (many nodes suspected at once) means the
+	// free-pool view is collapsing under the round; shedding the round is
+	// cheaper than placing jobs on nodes about to be reclaimed. Running
+	// jobs and leases are untouched.
+	if s.cfg.BrownoutSuspects > 0 && s.det != nil && s.det.SuspectedCount() >= s.cfg.BrownoutSuspects {
+		s.brownouts++
+		s.cfg.Sim.Tracef("metasched: brownout, %d nodes suspected — admission round shed", s.det.SuspectedCount())
+		if tel := s.cfg.Sim.Telemetry(); tel != nil {
+			tel.Counter("metasched", "brownouts").Inc()
+			tel.Emit(telemetry.Event{
+				Type: telemetry.EvSchedBrownout, Comp: "metasched",
+				Args: []telemetry.Arg{telemetry.I("suspected", s.det.SuspectedCount())},
+			})
+		}
+		return
+	}
+
 	snap, err := s.cfg.GIS.TakeSnapshot(p, gis.Filter{})
 	if err != nil {
 		return // GIS outage: skip the round, leases stay as they are
@@ -413,9 +462,14 @@ func (s *Scheduler) round(p *simcore.Proc) {
 	prio := func(j *Job) float64 { return s.pricer.EffectivePriority(j.Spec.Bid) }
 
 	// Admission loop: admit heads while they fit; under backfill, let
-	// safe smaller jobs around a blocked head.
-	for len(s.queued) > 0 {
-		order := orderQueue(s.cfg.Policy, s.queued, prio)
+	// safe smaller jobs around a blocked head. Jobs inside their requeue
+	// backoff window are invisible to the round.
+	for {
+		eligible := s.eligibleQueued(p.Now())
+		if len(eligible) == 0 {
+			break
+		}
+		order := orderQueue(s.cfg.Policy, eligible, prio)
 		head := order[0]
 		if nodes := s.placement(head, free, avail); len(nodes) >= s.needWidth(head) {
 			if s.admit(p, head, nodes) {
@@ -448,6 +502,21 @@ func (s *Scheduler) round(p *simcore.Proc) {
 	}
 
 	s.considerPreemption(p.Now(), free, avail, prio)
+}
+
+// eligibleQueued returns the queued jobs admissible now: those not parked
+// inside a requeue-backoff window.
+func (s *Scheduler) eligibleQueued(now float64) []*Job {
+	if s.cfg.RequeueBackoff <= 0 {
+		return s.queued
+	}
+	out := make([]*Job, 0, len(s.queued))
+	for _, j := range s.queued {
+		if j.notBefore <= now {
+			out = append(out, j)
+		}
+	}
+	return out
 }
 
 // placement maps a queued job over the free pool through its own mapper.
@@ -529,10 +598,13 @@ func (s *Scheduler) runJob(p *simcore.Proc, job *Job) {
 	job.mgr = mgr
 
 	rep, err := mgr.Execute(p, job.cop, job.lease.Nodes())
-	if err != nil && errors.Is(err, appmgr.ErrNoResources) {
+	if err != nil && (errors.Is(err, appmgr.ErrNoResources) || faultinject.Retryable(err)) {
 		// The lease was reclaimed from under the job (crashes or a
-		// preemption that cut to the bone). Roll back to the last committed
-		// checkpoint and put the job back in the queue.
+		// preemption that cut to the bone), or a transient infrastructure
+		// error outlasted the retry policy (e.g. a binder outage longer
+		// than the attempt budget). Either way the grid may heal: roll
+		// back to the last committed checkpoint and put the job back in
+		// the queue — the requeue cap quarantines it if this never stops.
 		if rec, ok := job.cop.(cop.Recoverable); ok {
 			rec.Rollback()
 		}
@@ -563,7 +635,10 @@ func (s *Scheduler) jobPool(job *Job) []*topology.Node {
 	return job.lease.Nodes()
 }
 
-// requeue puts a job that lost its lease back in the queue.
+// requeue puts a job that lost its lease back in the queue — unless it has
+// burned through the requeue cap, in which case it is quarantined as a
+// poison job. With RequeueBackoff set, each successive requeue parks the
+// job for exponentially longer before it competes for admission again.
 func (s *Scheduler) requeue(job *Job, rep *appmgr.Report) {
 	s.leases.Release(job.lease)
 	job.lease = nil
@@ -571,14 +646,48 @@ func (s *Scheduler) requeue(job *Job, rep *appmgr.Report) {
 	job.pendingKeep = nil
 	job.preemptPending = false
 	job.requeues++
-	job.state = JobQueued
-	job.enqueuedAt = s.cfg.Sim.Now()
 	if rep != nil {
 		job.report = rep
 	}
+	if s.cfg.MaxRequeues > 0 && job.requeues >= s.cfg.MaxRequeues {
+		s.quarantine(job)
+		return
+	}
+	if s.cfg.RequeueBackoff > 0 {
+		exp := job.requeues - 1
+		if exp > 6 {
+			exp = 6 // cap at 64x base: past that the delay adds nothing
+		}
+		job.notBefore = s.cfg.Sim.Now() + s.cfg.RequeueBackoff*float64(int(1)<<exp)
+	}
+	job.state = JobQueued
+	job.enqueuedAt = s.cfg.Sim.Now()
 	s.queued = append(s.queued, job)
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
 		tel.Counter("metasched", "requeues").Inc()
+	}
+}
+
+// quarantine retires a poison job: terminal like a failure, but named so
+// the conservation ledger distinguishes "gave up on it deliberately" from
+// "it broke" — and from "it vanished", which must never happen.
+func (s *Scheduler) quarantine(job *Job) {
+	now := s.cfg.Sim.Now()
+	job.state = JobQuarantined
+	job.finishAt = now
+	job.failErr = fmt.Errorf("metasched: %s quarantined after %d requeues", job.Spec.Name, job.requeues)
+	s.quarantined++
+	s.cfg.Sim.Tracef("metasched: quarantined poison job %s (%d requeues)", job.Spec.Name, job.requeues)
+	if tel := s.cfg.Sim.Telemetry(); tel != nil {
+		tel.Counter("metasched", "quarantines").Inc()
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvJobQuarantine, Comp: "metasched", Name: job.Spec.Name,
+			Args: []telemetry.Arg{telemetry.I("requeues", job.requeues)},
+		})
+	}
+	s.remaining--
+	if s.remaining == 0 && s.cfg.OnIdle != nil {
+		s.cfg.OnIdle()
 	}
 }
 
@@ -621,10 +730,11 @@ func (s *Scheduler) finish(job *Job, rep *appmgr.Report, err error) {
 // rescheduler. The victim checkpoints through SRS, its lease shrinks at the
 // next segment boundary, and the freed nodes let the starving job in.
 func (s *Scheduler) considerPreemption(now float64, free []*topology.Node, avail func(*topology.Node) float64, prio func(*Job) float64) {
-	if s.cfg.Policy == PolicyFIFO || s.cfg.StarveAfter <= 0 || len(s.queued) == 0 {
+	eligible := s.eligibleQueued(now)
+	if s.cfg.Policy == PolicyFIFO || s.cfg.StarveAfter <= 0 || len(eligible) == 0 {
 		return
 	}
-	order := orderQueue(s.cfg.Policy, s.queued, prio)
+	order := orderQueue(s.cfg.Policy, eligible, prio)
 	head := order[0]
 	if now-head.enqueuedAt < s.cfg.StarveAfter {
 		return
@@ -712,6 +822,24 @@ func (s *Scheduler) ReportViolation(name string) bool {
 // Violations returns how many contract violations led to shrink orders.
 func (s *Scheduler) Violations() int { return s.violations }
 
+// Quarantined returns how many poison jobs the requeue cap retired.
+func (s *Scheduler) Quarantined() int { return s.quarantined }
+
+// Brownouts returns how many admission rounds were shed by detector
+// storms.
+func (s *Scheduler) Brownouts() int { return s.brownouts }
+
+// StateCounts tallies every submitted job by lifecycle state — the
+// conservation ledger the chaos soak checks each tick: the counts must
+// always sum to the number of submissions, whatever faults are in flight.
+func (s *Scheduler) StateCounts() map[JobState]int {
+	out := make(map[JobState]int)
+	for _, j := range s.jobs {
+		out[j.state]++
+	}
+	return out
+}
+
 // Jobs returns every submitted job, by ID.
 func (s *Scheduler) Jobs() []*Job { return append([]*Job(nil), s.jobs...) }
 
@@ -728,7 +856,7 @@ func (s *Scheduler) Records() []Record {
 		if j.started {
 			r.Wait = j.startAt - j.submitAt
 		}
-		if j.state == JobDone || j.state == JobFailed {
+		if j.state == JobDone || j.state == JobFailed || j.state == JobQuarantined {
 			r.Turnaround = j.finishAt - j.submitAt
 		}
 		if j.report != nil {

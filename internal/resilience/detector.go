@@ -68,6 +68,11 @@ func (d *Detector) Suspects() int { return d.suspects }
 // Suspected reports whether the node is currently suspected down.
 func (d *Detector) Suspected(node string) bool { return d.suspected[node] }
 
+// SuspectedCount returns how many watched nodes are currently suspected
+// down — the detector-storm signal that brownout admission shedding keys
+// on.
+func (d *Detector) SuspectedCount() int { return len(d.suspected) }
+
 // Start spawns the detector daemon.
 func (d *Detector) Start() {
 	d.proc = d.sim.Spawn("detector", func(p *simcore.Proc) {

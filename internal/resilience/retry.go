@@ -82,6 +82,13 @@ type Retrier struct {
 	policy Policy
 	rng    *rand.Rand
 
+	// Optional recovery control plane: per-service circuit breakers (fail
+	// fast while a service is known-down) and shared retry budgets (bound
+	// the aggregate retry rate against a recovering service). Nil means
+	// plain policy-driven retries.
+	breakers *BreakerSet
+	budgets  *BudgetSet
+
 	retries int // re-attempts performed
 	gaveUp  int // calls that exhausted every attempt
 }
@@ -97,6 +104,42 @@ func NewRetrier(sim *simcore.Sim, policy Policy, rng *rand.Rand) *Retrier {
 
 // Policy returns the retrier's policy.
 func (r *Retrier) Policy() Policy { return r.policy }
+
+// SetGuards installs the recovery control plane around the retrier's
+// calls: breakers trip per service after consecutive failures and fail
+// subsequent calls fast; budgets spend one token per retry so callers
+// sharing a service cannot collectively storm it. Either may be nil.
+func (r *Retrier) SetGuards(breakers *BreakerSet, budgets *BudgetSet) {
+	r.breakers = breakers
+	r.budgets = budgets
+}
+
+// Breakers returns the installed breaker set, or nil.
+func (r *Retrier) Breakers() *BreakerSet {
+	if r == nil {
+		return nil
+	}
+	return r.breakers
+}
+
+// Budgets returns the installed budget set, or nil.
+func (r *Retrier) Budgets() *BudgetSet {
+	if r == nil {
+		return nil
+	}
+	return r.budgets
+}
+
+// serviceOf maps an op name to its service key: the prefix before the
+// first dot ("ibp.store" -> "ibp"), or the whole op when undotted.
+func serviceOf(op string) string {
+	for i := 0; i < len(op); i++ {
+		if op[i] == '.' {
+			return op[:i]
+		}
+	}
+	return op
+}
 
 // Retries returns how many re-attempts the retrier has performed.
 func (r *Retrier) Retries() int {
@@ -115,20 +158,51 @@ func (r *Retrier) GaveUp() int {
 }
 
 // Do runs call from process p, retrying on retryable errors per the policy.
-// op names the call in telemetry ("gis.query", "ibp.store"). A nil Retrier
-// runs the call once with no retry. The returned error is the last
-// attempt's, wrapped with the attempt count when retries were exhausted.
+// op names the call in telemetry ("gis.query", "ibp.store"); its prefix
+// before the first dot selects the breaker and budget when guards are
+// installed. A nil Retrier runs the call once with no retry. The returned
+// error is the last attempt's, wrapped with the attempt count when retries
+// were exhausted.
 func (r *Retrier) Do(p *simcore.Proc, op string, call func() error) error {
+	return r.DoUntil(p, op, NoDeadline, call)
+}
+
+// DoUntil is Do under an absolute virtual-time deadline: the retry loop
+// gives up (returning the last error wrapped) rather than start a backoff
+// that would cross it. Multi-hop recovery operations pass one Deadline
+// down to every hop, so the hops share a single recovery budget.
+func (r *Retrier) DoUntil(p *simcore.Proc, op string, dl Deadline, call func() error) error {
 	if r == nil {
 		return call()
 	}
+	svc := serviceOf(op)
+	br := r.breakers.For(svc)
 	var err error
 	for attempt := 1; ; attempt++ {
-		err = call()
+		if br != nil && !br.Allow() {
+			// Fail fast without touching the recovering service. The error
+			// is retryable, so the loop below still backs off and re-tries
+			// (a probe slot may open), bounded by the budget and deadline.
+			err = fmt.Errorf("%w for %s", ErrCircuitOpen, svc)
+		} else {
+			err = call()
+			if br != nil {
+				br.Record(err)
+			}
+		}
 		if err == nil || !faultinject.Retryable(err) || attempt >= r.policy.MaxAttempts {
 			break
 		}
 		wait := r.policy.Backoff(attempt, r.rng)
+		now := r.sim.Now()
+		if dl.Expired(now) || now+wait > dl.At() {
+			r.giveUp(op, "deadline")
+			return fmt.Errorf("%s deadline exceeded after %d attempts: %w", op, attempt, err)
+		}
+		if !r.budgets.For(svc).TryTake() {
+			r.giveUp(op, "budget")
+			return fmt.Errorf("retry budget for %s exhausted after %d attempts: %w", svc, attempt, err)
+		}
 		r.retries++
 		if tel := r.sim.Telemetry(); tel != nil {
 			tel.Counter("resilience", "retries").Inc()
@@ -146,11 +220,20 @@ func (r *Retrier) Do(p *simcore.Proc, op string, call func() error) error {
 		}
 	}
 	if err != nil && faultinject.Retryable(err) {
-		r.gaveUp++
-		if tel := r.sim.Telemetry(); tel != nil {
-			tel.Counter("resilience", "gave_up").Inc()
-		}
+		r.giveUp(op, "attempts")
 		return fmt.Errorf("after %d attempts: %w", r.policy.MaxAttempts, err)
 	}
 	return err
+}
+
+// giveUp accounts one abandoned call and publishes why.
+func (r *Retrier) giveUp(op, reason string) {
+	r.gaveUp++
+	if tel := r.sim.Telemetry(); tel != nil {
+		tel.Counter("resilience", "gave_up").Inc()
+		tel.Emit(telemetry.Event{
+			Type: telemetry.EvServiceDegraded, Comp: "resilience", Name: op,
+			Args: []telemetry.Arg{telemetry.S("reason", reason)},
+		})
+	}
 }

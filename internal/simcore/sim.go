@@ -21,10 +21,11 @@ import (
 // Sim is a discrete-event simulation. The zero value is not usable; create
 // one with New.
 type Sim struct {
-	now float64
-	seq int64
-	q   eventQueue
-	rng *rand.Rand
+	now   float64
+	seq   int64
+	q     eventQueue
+	rng   *rand.Rand
+	fired uint64
 
 	nextProcID int
 	liveProcs  map[int]*Proc
@@ -158,6 +159,7 @@ func (s *Sim) fire(idx int32) {
 	s.q.live--
 	s.q.recycle(idx)
 	s.now = t
+	s.fired++
 	s.cEvents.Add(1)
 	if proc != nil {
 		proc.run(nil)
@@ -175,6 +177,12 @@ func (s *Sim) Step() bool {
 	s.fire(idx)
 	return true
 }
+
+// EventsFired returns how many kernel events have fired since the
+// simulation was created, independent of telemetry being attached. Soak
+// harnesses use it to size fault schedules in kernel events rather than
+// virtual seconds.
+func (s *Sim) EventsFired() uint64 { return s.fired }
 
 // PendingEvents returns the number of live (non-canceled) scheduled events.
 // It is O(1): the queue maintains the count across push, fire and cancel.

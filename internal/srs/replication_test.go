@@ -37,8 +37,11 @@ func TestCheckpointReplicatedToBuddyDepot(t *testing.T) {
 	if c.Replica.Site() != c.Depot.Site() {
 		t.Fatalf("replica on %s, want a same-site LAN buddy", c.Replica.Name())
 	}
-	if sz, ok := r.st.Size(c.Replica.Name(), "k0"); !ok || sz != 1e7 {
+	if sz, ok := r.st.Size(c.Replica.Name(), r.rss.blobKey("k0", c.Epoch)); !ok || sz != 1e7 {
 		t.Fatalf("replica blob = %v, %v; want the full 1e7 bytes", sz, ok)
+	}
+	if !r.st.Verify(c.Replica.Name(), r.rss.blobKey("k0", c.Epoch), c.Sum) {
+		t.Fatal("replica blob does not verify against the writer checksum")
 	}
 }
 
@@ -108,7 +111,7 @@ func TestStaleReplicaInvalidated(t *testing.T) {
 	if c.Replica == nil {
 		t.Fatal("no replica after both movers drained")
 	}
-	if sz, ok := r.st.Size(c.Replica.Name(), "k0"); !ok || sz != 2e7 {
+	if sz, ok := r.st.Size(c.Replica.Name(), r.rss.blobKey("k0", c.Epoch)); !ok || sz != 2e7 {
 		t.Fatalf("replica blob = %v, %v; want the fresh 2e7-byte copy", sz, ok)
 	}
 }

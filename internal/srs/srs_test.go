@@ -155,7 +155,7 @@ func TestDropCheckpoints(t *testing.T) {
 	if len(r.rss.Checkpoints()) != 0 {
 		t.Fatal("DropCheckpoints left registry entries")
 	}
-	if _, ok := r.st.Size("a1", "x"); ok {
+	if _, ok := r.st.Size("a1", r.rss.blobKey("x", 1)); ok {
 		t.Fatal("DropCheckpoints left depot data")
 	}
 }

@@ -63,6 +63,22 @@ const (
 	EvServiceRetry    EventType = "service.retry"
 	EvServiceDegraded EventType = "service.degraded"
 
+	// Recovery control plane: circuit-breaker state transitions.
+	EvBreakerState EventType = "breaker.state"
+
+	// Checkpoint integrity: a corrupt generation detected (and skipped)
+	// during restore planning or reading.
+	EvCkptCorrupt EventType = "ckpt.corrupt"
+
+	// Metascheduler graceful degradation: a poison job quarantined after
+	// exhausting its requeue cap, and an admission round shed during a
+	// failure-detector storm brownout.
+	EvJobQuarantine EventType = "job.quarantine"
+	EvSchedBrownout EventType = "sched.brownout"
+
+	// Chaos-soak invariant harness: one violated invariant.
+	EvSoakViolation EventType = "soak.violation"
+
 	// Metascheduler job stream (metasched): submission into the queue,
 	// admission onto a lease, completion (or terminal failure), and
 	// preemption orders against running victims.
