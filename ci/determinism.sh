@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# ci/determinism.sh NAME ARGS_A [ARGS_B] — one case of the CI determinism
+# matrix.
+#
+# Runs the gradsim binary twice — with ARGS_A, then with ARGS_B (defaulting
+# to ARGS_A for plain run-twice determinism) — capturing the JSONL telemetry
+# trace and the stdout report of each, and fails unless both are
+# byte-identical. Equivalence cases pass a different ARGS_B: the reference
+# network solver (-netsim-reference) or a different shard count (-shards 4)
+# must reproduce the oracle's bytes exactly.
+#
+# The gradsim binary is ./gradsim by default; override with $GRADSIM.
+# Arguments are word-split, so spec strings (-faults 'a;b') must not contain
+# spaces.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 NAME ARGS_A [ARGS_B]" >&2
+    exit 2
+fi
+
+bin=${GRADSIM:-./gradsim}
+name=$1
+args_a=$2
+args_b=${3:-$2}
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== determinism case: $name"
+echo "   a: gradsim $args_a"
+# shellcheck disable=SC2086  # word-splitting the arg strings is the contract
+$bin $args_a -trace-jsonl "$work/a.jsonl" >"$work/a.out"
+echo "   b: gradsim $args_b"
+# shellcheck disable=SC2086
+$bin $args_b -trace-jsonl "$work/b.jsonl" >"$work/b.out"
+
+fail=0
+if ! cmp -s "$work/a.jsonl" "$work/b.jsonl"; then
+    echo "FAIL: $name telemetry traces diverge; first differing lines:" >&2
+    diff "$work/a.jsonl" "$work/b.jsonl" | head -8 >&2 || true
+    fail=1
+fi
+if ! cmp -s "$work/a.out" "$work/b.out"; then
+    echo "FAIL: $name stdout reports diverge; first differing lines:" >&2
+    diff "$work/a.out" "$work/b.out" | head -8 >&2 || true
+    fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+
+echo "   ok: $(wc -l <"$work/a.jsonl") trace lines and $(wc -l <"$work/a.out") report lines byte-identical"

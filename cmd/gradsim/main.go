@@ -17,6 +17,14 @@
 // Run `gradsim -list` for the full registry-derived list with titles;
 // `-seed N` overrides the RNG seed of seeded experiments.
 //
+// Sharded emulation (see the README "Sharded emulation" section):
+//
+//	gradsim -exp scale               # 10k-node scaling curve (wall-clock)
+//	gradsim -exp scale-smoke -shards 4
+//	                                 # shard-equivalence smoke; stdout and
+//	                                 # -trace-jsonl are byte-identical for
+//	                                 # any -shards N
+//
 // Observability (see the README "Observability" section):
 //
 //	gradsim -exp fig4 -trace out.json        # Chrome trace_event JSON for
@@ -55,6 +63,7 @@ func main() {
 	faults := flag.String("faults", "", "run the QR workload under this fault schedule "+
 		"(events 'kind@start[-end]:target[:value]' joined by ';', e.g. 'crash@100-400:utk1;outage@10-40:nws')")
 	netRef := flag.Bool("netsim-reference", false, "use the reference (global) network solver instead of the incremental one (traces are byte-identical either way)")
+	shards := flag.Int("shards", 1, "shard kernels for the sharded experiments (scale, scale-smoke); 1 is the single-kernel oracle, any N is trace-identical")
 	jobs := flag.String("jobs", "", "run an explicit metascheduler submission stream "+
 		"(entries 'kind@submit:key=value,...' joined by ';', e.g. 'qr@0:n=3000,w=8,min=4,bid=40;farm@25:tasks=24,w=4,bid=3')")
 	flag.Parse()
@@ -79,6 +88,7 @@ func main() {
 
 	grads.SetSeed(*seed)
 	grads.SetReferenceSolver(*netRef)
+	grads.SetShards(*shards)
 
 	var tel *telemetry.Telemetry
 	if *traceOut != "" || *jsonlOut != "" || *metrics {

@@ -56,6 +56,12 @@ func SetSeed(seed int64) { seedOverride = seed }
 // verified on the published experiments.
 func SetReferenceSolver(on bool) { experiments.SetReferenceSolver(on) }
 
+// SetShards selects how many shard kernels the sharded experiments (scale,
+// scale-smoke) run with (the gradsim -shards flag). 1 — the default — is the
+// single-kernel determinism oracle; any N produces byte-identical traces
+// (see internal/shardsim and the "Sharded emulation" README section).
+func SetShards(n int) { experiments.SetShards(n) }
+
 // seedOr resolves an experiment's seed: the global override when set, else
 // the experiment's default.
 func seedOr(def int64) int64 {
@@ -66,11 +72,14 @@ func seedOr(def int64) int64 {
 }
 
 // experiment is one registry entry: a one-line title (for -list and usage),
-// the report driver, and an optional CSV driver.
+// the report driver, and an optional CSV driver. skipAll excludes an entry
+// from RunAll — used by the wall-clock scale experiment, whose timings would
+// break the byte-identical `-exp all` determinism contract.
 type experiment struct {
-	title string
-	run   func() (string, error)
-	csv   func() (string, error)
+	title   string
+	run     func() (string, error)
+	csv     func() (string, error)
+	skipAll bool
 }
 
 // Info names one runnable experiment for listings.
@@ -379,6 +388,30 @@ var registry = map[string]experiment{
 				experiments.FormatEconomy(res), nil
 		},
 	},
+	"scale": {
+		title:   "extension — sharded-kernel scaling curve on the 10k-node synthetic grid (wall-clock; excluded from 'all')",
+		skipAll: true,
+		run: func() (string, error) {
+			vs, err := experiments.RunScaleCurve(seedOr(1))
+			if err != nil {
+				return "", err
+			}
+			return "extension — sharded multi-site kernel: scaling curve on the 10k-node\n" +
+				"synthetic grid (single kernel vs conservatively synchronized shards)\n\n" +
+				experiments.FormatScale(vs), nil
+		},
+	},
+	"scale-smoke": {
+		title: "CI — shard-equivalence smoke: seeded chaos/contention/soak traces under -shards N",
+		run: func() (string, error) {
+			out, err := experiments.RunScaleSmoke(seedOr(0))
+			if err != nil {
+				return "", err
+			}
+			return "CI — shard-equivalence smoke: every line below (and the replayed\n" +
+				"-trace-jsonl stream) is byte-identical for any -shards N\n\n" + out, nil
+		},
+	},
 	"contention": {
 		title: "extension — metascheduler: contention-aware multi-application stream",
 		run: func() (string, error) {
@@ -471,10 +504,15 @@ func RunExperimentCSV(name string) (string, error) {
 	return e.csv()
 }
 
-// RunAll regenerates every experiment, concatenating the reports.
+// RunAll regenerates every experiment except the wall-clock ones (skipAll),
+// concatenating the reports. Its output is part of the determinism contract:
+// same seeds, same bytes.
 func RunAll() (string, error) {
 	var b strings.Builder
 	for _, name := range Experiments() {
+		if registry[name].skipAll {
+			continue
+		}
 		out, err := RunExperiment(name)
 		if err != nil {
 			return b.String(), fmt.Errorf("%s: %w", name, err)

@@ -1,0 +1,33 @@
+package shardsim
+
+import "testing"
+
+// The shard-scaling benchmarks run the full 10k-node ScaleConfig workload
+// (16 mega-sites x 640 nodes, staging-heavy) to quiescence, tracing off.
+//
+// BenchmarkShardScaleSingleKernel is the pre-sharding architecture: one
+// kernel and one global netsim fabric, so every flow event pays the
+// all-active-flows advance/reschedule/completion scans across all 16 sites'
+// traffic. BenchmarkShardScaleN runs the sharded kernel (per-site fabrics,
+// N worker kernels). BENCH_shard.json gates ShardScale4 against
+// SingleKernel; the 4-vs-1-shard pair additionally shows the parallel
+// speedup on multi-core hosts (on a single core the two are equal up to
+// barrier overhead, and the fabric split carries the gate).
+func benchScale(b *testing.B, shards int, sharedFabric bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := ScaleConfig(1)
+		cfg.Shards = shards
+		cfg.SharedFabric = sharedFabric
+		r := RunScenario(cfg)
+		if len(r.Violations) > 0 {
+			b.Fatalf("invariants violated: %v", r.Violations)
+		}
+	}
+}
+
+func BenchmarkShardScaleSingleKernel(b *testing.B) { benchScale(b, 1, true) }
+func BenchmarkShardScale1(b *testing.B)            { benchScale(b, 1, false) }
+func BenchmarkShardScale2(b *testing.B)            { benchScale(b, 2, false) }
+func BenchmarkShardScale4(b *testing.B)            { benchScale(b, 4, false) }
+func BenchmarkShardScale8(b *testing.B)            { benchScale(b, 8, false) }

@@ -1,0 +1,74 @@
+package shardsim
+
+import (
+	"bytes"
+	"sort"
+
+	"grads/internal/telemetry"
+)
+
+// MergedEvents returns every site's telemetry events merged into the
+// canonical global order: ascending (T, site index, site-local sequence),
+// with the sequence numbers restamped to the merged position so the result
+// reads as one stream. Each site's hub stamps events with its own
+// monotonically increasing sequence, and a site's behavior depends only on
+// its timestamped inputs, so both the per-site streams and this merged
+// order are invariant under the shard count — the byte-equivalence the
+// differential tests and the CI shard-equivalence matrix entry enforce.
+func (c *Cluster) MergedEvents() []telemetry.Event {
+	type rec struct {
+		e    telemetry.Event
+		site int
+	}
+	var all []rec
+	for i, s := range c.sites {
+		if s.buf == nil {
+			continue
+		}
+		for _, e := range s.buf.Events() {
+			all = append(all, rec{e, i})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].e.T != all[b].e.T {
+			return all[a].e.T < all[b].e.T
+		}
+		if all[a].site != all[b].site {
+			return all[a].site < all[b].site
+		}
+		return all[a].e.Seq < all[b].e.Seq
+	})
+	out := make([]telemetry.Event, len(all))
+	for i, r := range all {
+		r.e.Seq = uint64(i + 1)
+		out[i] = r.e
+	}
+	return out
+}
+
+// MergedTrace encodes the merged event stream as JSONL bytes, the format
+// the determinism CI compares across shard counts.
+func (c *Cluster) MergedTrace() []byte {
+	var buf bytes.Buffer
+	sink := telemetry.NewJSONL(&buf)
+	for _, e := range c.MergedEvents() {
+		sink.Emit(e)
+	}
+	sink.Close()
+	return buf.Bytes()
+}
+
+// ReplayInto re-emits the merged stream through an external hub (gradsim's
+// shared -trace-jsonl pipeline). The hub restamps sequence numbers in
+// emission order, preserving the merged order; its clock must be detached
+// first (SetClock(nil)) or the original virtual timestamps would be
+// overwritten.
+func (c *Cluster) ReplayInto(tel *telemetry.Telemetry) {
+	if tel == nil {
+		return
+	}
+	tel.SetClock(nil)
+	for _, e := range c.MergedEvents() {
+		tel.Emit(e)
+	}
+}

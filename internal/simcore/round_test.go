@@ -1,0 +1,100 @@
+package simcore
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNextEventTime(t *testing.T) {
+	s := New(1)
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("empty sim reports a next event")
+	}
+	ev := s.At(5, func() {})
+	s.At(9, func() {})
+	if nt, ok := s.NextEventTime(); !ok || nt != 5 {
+		t.Fatalf("NextEventTime = %v,%v want 5,true", nt, ok)
+	}
+	ev.Cancel()
+	if nt, ok := s.NextEventTime(); !ok || nt != 9 {
+		t.Fatalf("after cancel: NextEventTime = %v,%v want 9,true", nt, ok)
+	}
+	s.Run()
+	if _, ok := s.NextEventTime(); ok {
+		t.Fatal("drained sim reports a next event")
+	}
+}
+
+func TestRunBeforeStrictBound(t *testing.T) {
+	s := New(1)
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	// Strict: an event exactly at the bound must NOT fire.
+	if now := s.RunBefore(3); now != 2 {
+		t.Fatalf("RunBefore(3) = %v want 2", now)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 1 and 2 only", fired)
+	}
+	// The clock stays at the last fired event, not the bound: injecting at
+	// a time inside the processed window but >= now must not be clamped.
+	s.At(2.5, func() { fired = append(fired, 2.5) })
+	s.RunBefore(math.Inf(1))
+	want := []float64{1, 2, 2.5, 3, 4}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v want %v", fired, want)
+		}
+	}
+}
+
+func TestRunBeforeDoesNotAdvanceClock(t *testing.T) {
+	s := New(1)
+	s.At(10, func() {})
+	if now := s.RunBefore(5); now != 0 {
+		t.Fatalf("RunBefore(5) advanced the clock to %v", now)
+	}
+	if n, ok := s.NextEventTime(); !ok || n != 10 {
+		t.Fatalf("event at 10 lost: %v,%v", n, ok)
+	}
+}
+
+func TestRunBeforeRounds(t *testing.T) {
+	// Drive the kernel in conservative rounds of width 1 and verify the
+	// result matches a single Run: same firing order, same final clock.
+	order := func(run func(s *Sim)) []int {
+		s := New(7)
+		var got []int
+		for i := 0; i < 50; i++ {
+			i := i
+			at := float64((i*7)%10) + float64(i)/100
+			s.At(at, func() { got = append(got, i) })
+		}
+		run(s)
+		return got
+	}
+	ref := order(func(s *Sim) { s.Run() })
+	rounds := order(func(s *Sim) {
+		for {
+			nt, ok := s.NextEventTime()
+			if !ok {
+				break
+			}
+			s.RunBefore(nt + 1)
+		}
+	})
+	if len(ref) != len(rounds) {
+		t.Fatalf("round-driven run fired %d events, reference %d", len(rounds), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != rounds[i] {
+			t.Fatalf("firing order diverges at %d: %d vs %d", i, rounds[i], ref[i])
+		}
+	}
+}

@@ -168,6 +168,39 @@ func (s *Sim) fire(idx int32) {
 	}
 }
 
+// NextEventTime returns the firing time of the earliest live event and true,
+// or (0, false) when no live events remain. Conservative parallel runners use
+// it to compute a lower bound on this kernel's next action without firing
+// anything.
+func (s *Sim) NextEventTime() (float64, bool) {
+	idx := s.q.peekLive()
+	if idx < 0 {
+		return 0, false
+	}
+	return s.q.slots[idx].t, true
+}
+
+// RunBefore processes events with firing times strictly less than bound and
+// returns the current time. Unlike RunUntil, the clock is NOT advanced to
+// bound when the queue runs dry or only holds later events: the kernel stays
+// at its last fired event, so new events injected afterwards at t >= now are
+// never clamped forward. This is the round primitive for barrier-synchronous
+// sharded execution, where bound is the round horizon (LBTS + lookahead).
+func (s *Sim) RunBefore(bound float64) float64 {
+	s.stopped = false
+	for !s.stopped {
+		idx := s.q.peekLive()
+		if idx < 0 {
+			break
+		}
+		if !(s.q.slots[idx].t < bound) {
+			break
+		}
+		s.fire(idx)
+	}
+	return s.now
+}
+
 // Step fires exactly one event, if one exists, and reports whether it did.
 func (s *Sim) Step() bool {
 	idx := s.q.peekLive()

@@ -1,0 +1,46 @@
+package simtest
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// FirstDiff locates the first divergence between two JSONL streams and
+// describes it as "line N:\n  a: ...\n  b: ...", truncating long lines. It
+// returns "" when the streams are byte-identical. Differential harnesses use
+// it to turn a useless "traces differ" into the first diverging event.
+func FirstDiff(a, b []byte) string {
+	if bytes.Equal(a, b) {
+		return ""
+	}
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) > n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		var sa, sb string
+		if i < len(la) {
+			sa = string(la[i])
+		} else {
+			sa = "<EOF>"
+		}
+		if i < len(lb) {
+			sb = string(lb[i])
+		} else {
+			sb = "<EOF>"
+		}
+		if sa != sb {
+			const max = 200
+			if len(sa) > max {
+				sa = sa[:max] + "..."
+			}
+			if len(sb) > max {
+				sb = sb[:max] + "..."
+			}
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, sa, sb)
+		}
+	}
+	return fmt.Sprintf("streams differ only in length: %d vs %d bytes", len(a), len(b))
+}

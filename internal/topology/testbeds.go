@@ -93,6 +93,52 @@ func QRTestbed(sim *simcore.Sim) *Grid {
 	return g
 }
 
+// SyntheticSite returns the node specs of a synthetic mega-site: count
+// nodes named prefix1..prefixN cycling through the testbed's processor
+// generations (Athlon, PIII, PII, Itanium), so a large site is heterogeneous
+// the way the MacroGrid is. The specs are pure data — no kernel, no Grid —
+// which lets the sharded emulator (internal/shardsim) build 10k-node
+// topologies without instantiating a CPU model per node.
+func SyntheticSite(prefix string, count int) []NodeSpec {
+	kinds := []NodeSpec{
+		{Arch: ArchIA32, MHz: 1700, FlopsPerCycle: 0.8, MemMB: 1024, Cache: cacheAthlon},
+		{Arch: ArchIA32, MHz: 933, FlopsPerCycle: 0.5, MemMB: 512, Cache: cachePIII},
+		{Arch: ArchIA32, MHz: 450, FlopsPerCycle: 0.4, MemMB: 256, Cache: cachePII},
+		{Arch: ArchIA64, MHz: 900, FlopsPerCycle: 2.0, MemMB: 2048, Cache: cacheItanium},
+	}
+	specs := make([]NodeSpec, count)
+	for i := range specs {
+		sp := kinds[i%len(kinds)]
+		sp.Name = fmt.Sprintf("%s%d", prefix, i+1)
+		sp.Site = prefix
+		specs[i] = sp
+	}
+	return specs
+}
+
+// SyntheticGrid instantiates a Grid of sites synthetic mega-sites of
+// nodesPerSite nodes each (SyntheticSite specs), all pairwise connected by
+// Internet paths. It is the materialized form of the topology the sharded
+// scale experiment runs; tests use it to cross-check SyntheticSite against
+// the Grid invariants.
+func SyntheticGrid(sim *simcore.Sim, sites, nodesPerSite int) *Grid {
+	g := NewGrid(sim)
+	names := make([]string, sites)
+	for i := range names {
+		names[i] = fmt.Sprintf("mega%02d", i)
+		g.AddSite(names[i], GigE, LANLatency)
+		for _, sp := range SyntheticSite(names[i], nodesPerSite) {
+			g.AddNode(sp)
+		}
+	}
+	for i := 0; i < sites; i++ {
+		for j := i + 1; j < sites; j++ {
+			g.Connect(names[i], names[j], Internet10, 0.030)
+		}
+	}
+	return g
+}
+
 // MicroGridTestbed builds the §4.2.2 virtual Grid: a 3-node UTK cluster
 // (550 MHz Pentium II), a 3-node UIUC cluster (450 MHz Pentium II), both on
 // Gigabit Ethernet LANs, and a single 1.7 GHz Athlon node at UCSD. The
