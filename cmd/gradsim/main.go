@@ -39,6 +39,13 @@
 //	                                         # run QR under an explicit fault
 //	                                         # schedule; combine with -trace-jsonl
 //	                                         # to capture the fault timeline
+//
+// Serving (see the README "Front door / serving" section):
+//
+//	gradsim -exp serve                       # arrival-rate x routing-policy sweep
+//	gradsim -arrivals 'poisson@0-600:rate=0.2' -route ucb
+//	                                         # explicit request workload through
+//	                                         # the front door
 package main
 
 import (
@@ -66,6 +73,9 @@ func main() {
 	shards := flag.Int("shards", 1, "shard kernels for the sharded experiments (scale, scale-smoke); 1 is the single-kernel oracle, any N is trace-identical")
 	jobs := flag.String("jobs", "", "run an explicit metascheduler submission stream "+
 		"(entries 'kind@submit:key=value,...' joined by ';', e.g. 'qr@0:n=3000,w=8,min=4,bid=40;farm@25:tasks=24,w=4,bid=3')")
+	arrivals := flag.String("arrivals", "", "serve an explicit request workload through the front door "+
+		"(phases 'kind@start-end:param,...' joined by ';', e.g. 'poisson@0-600:rate=0.2;flash@0-600:rate=0,peak=0.5,at=300,hold=60,mix=int:1')")
+	route := flag.String("route", "ucb", "front-door routing policy for -arrivals (one of: rr, least, wrand, ucb, eps)")
 	flag.Parse()
 
 	if *list {
@@ -115,6 +125,8 @@ func main() {
 	var out string
 	var err error
 	switch {
+	case *arrivals != "":
+		out, err = grads.RunArrivals(*arrivals, *route)
 	case *jobs != "":
 		out, err = grads.RunJobStream(*jobs)
 	case *faults != "":

@@ -412,6 +412,40 @@ var registry = map[string]experiment{
 				"-trace-jsonl stream) is byte-identical for any -shards N\n\n" + out, nil
 		},
 	},
+	"serve": {
+		title: "extension — serving: front-door request stream over the broker fleet, rate x routing-policy sweep",
+		run: func() (string, error) {
+			cfg := experiments.DefaultServeConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunServe(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "extension — serving: an open-loop request stream through the front\n" +
+				"door (QoS classes int/batch/bulk) onto a lopsided 8/4/2-node broker\n" +
+				"fleet, swept over arrival rate x routing policy\n\n" +
+				experiments.FormatServe(res), nil
+		},
+		csv: func() (string, error) {
+			cfg := experiments.DefaultServeConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			res, err := experiments.RunServe(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.ServeClassTable(res).CSV(), nil
+		},
+	},
+	"serve-smoke": {
+		title: "CI — compressed multi-seed serving cell (fails on any conservation violation)",
+		run: func() (string, error) {
+			seeds := []int64{1, 2, 3}
+			if s := seedOr(0); s != 0 {
+				seeds = []int64{s}
+			}
+			return experiments.RunServeSmoke(seeds)
+		},
+	},
 	"contention": {
 		title: "extension — metascheduler: contention-aware multi-application stream",
 		run: func() (string, error) {
@@ -475,6 +509,14 @@ func RunJobStream(stream string) (string, error) {
 	return "job stream — metascheduler broker on the QR testbed\n\n" +
 		"stream: " + metasched.FormatStream(entries) + "\n\n" +
 		experiments.JobStreamTable(recs).String(), nil
+}
+
+// RunArrivals realizes an explicit serving workload (the gradsim -arrivals
+// flag; see frontdoor.ParseArrivals for the grammar) through the front door
+// on the standard fleet, routed by the named policy (the -route flag), and
+// returns the outcome report.
+func RunArrivals(spec, route string) (string, error) {
+	return experiments.RunArrivals(spec, route, seedOr(0))
 }
 
 // RunExperiment regenerates one experiment by name and returns its

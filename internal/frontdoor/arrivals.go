@@ -1,0 +1,368 @@
+// Package frontdoor is the serving layer over the metascheduler fleet: a
+// deterministic open-loop request generator (seeded Poisson/MMPP arrivals
+// shaped by diurnal waves, flash crowds and ramps), a front-door load
+// balancer that spreads requests across multiple metasched brokers under
+// pluggable routing policies (round-robin, least-queue, weighted-random,
+// UCB and epsilon-greedy bandits), and a per-class QoS engine that makes
+// probabilistic local/offload/drop decisions against p95-latency targets,
+// shedding load during brownouts through the resilience breakers and the
+// failure detector. All randomness comes from explicit seeded sources, so
+// a run's trace is byte-identical at a fixed seed.
+package frontdoor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MixEntry is one class's weight in a phase's request mix.
+type MixEntry struct {
+	Class  string
+	Weight float64
+}
+
+// Phase is one parsed window of the -arrivals grammar: an arrival process
+// active on [Start, End) with a base rate, optional modulation parameters,
+// and an optional per-class request mix overriding the class defaults.
+type Phase struct {
+	Kind       string  // poisson | mmpp | wave | flash | ramp
+	Start, End float64 // active window, seconds of virtual time
+
+	Rate float64 // base mean arrival rate, requests/second
+
+	// mmpp: a 2-state Markov-modulated Poisson process alternating between
+	// Rate (low) and Hi, with exponential dwell times of mean Dwell (low)
+	// and HiDwell (high).
+	Hi, Dwell, HiDwell float64
+
+	// wave: diurnal modulation Rate * (1 + Amp*sin(2pi*(t-Start)/Period)).
+	Amp, Period float64
+
+	// flash: a flash crowd at rate Peak on [FlashAt, FlashAt+Hold), Rate
+	// elsewhere in the window.
+	Peak, FlashAt, Hold float64
+
+	// ramp: linear rate change from Rate at Start to To at End.
+	To float64
+
+	// Mix is the per-class request mix for this phase (sorted by class
+	// name); nil uses the class defaults.
+	Mix []MixEntry
+}
+
+// String renders the phase in the canonical -arrivals grammar (the form
+// FormatArrivals emits and ParseArrivals reparses losslessly).
+func (p Phase) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s-%s:rate=%s", p.Kind, arrFloat(p.Start), arrFloat(p.End), arrFloat(p.Rate))
+	switch p.Kind {
+	case "mmpp":
+		fmt.Fprintf(&b, ",hi=%s,dwell=%s,hidwell=%s", arrFloat(p.Hi), arrFloat(p.Dwell), arrFloat(p.HiDwell))
+	case "wave":
+		fmt.Fprintf(&b, ",amp=%s,period=%s", arrFloat(p.Amp), arrFloat(p.Period))
+	case "flash":
+		fmt.Fprintf(&b, ",peak=%s,at=%s,hold=%s", arrFloat(p.Peak), arrFloat(p.FlashAt), arrFloat(p.Hold))
+	case "ramp":
+		fmt.Fprintf(&b, ",to=%s", arrFloat(p.To))
+	}
+	if len(p.Mix) > 0 {
+		parts := make([]string, len(p.Mix))
+		for i, m := range p.Mix {
+			parts[i] = m.Class + ":" + arrFloat(m.Weight)
+		}
+		fmt.Fprintf(&b, ",mix=%s", strings.Join(parts, "/"))
+	}
+	return b.String()
+}
+
+// arrFloat renders a non-negative finite value in fixed notation (no
+// exponent), so formatted specs reparse to the identical value.
+func arrFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// FormatArrivals renders phases in the grammar ParseArrivals accepts (its
+// exact inverse), so generated workloads can be reported and replayed.
+func FormatArrivals(phases []Phase) string {
+	parts := make([]string, len(phases))
+	for i, p := range phases {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseArrivals parses the -arrivals workload grammar:
+//
+//	spec  := phase (';' phase)*
+//	phase := kind '@' start '-' end ':' param (',' param)*
+//	param := key '=' value
+//	mix   := class ':' weight ('/' class ':' weight)*
+//
+// where kind selects the arrival process active on [start, end) seconds:
+//
+//	poisson  rate=R                      homogeneous Poisson arrivals
+//	mmpp     rate=R,hi=R2,dwell=D        2-state Markov-modulated Poisson:
+//	         [,hidwell=D2]               rate R/R2 with exp. dwell D/D2
+//	                                     (hidwell defaults to dwell)
+//	wave     rate=R,amp=A,period=P       diurnal wave R*(1+A*sin(2pi t/P))
+//	flash    rate=R,peak=R2,at=T,hold=H  flash crowd: R2 on [T, T+H)
+//	ramp     rate=R,to=R2                linear ramp from R to R2
+//
+// Every phase accepts mix=class:w/class:w/... overriding the default
+// per-class request mix (weights positive, classes sorted canonically).
+// Phases may overlap: overlapping windows superpose their streams.
+//
+// Example:
+//
+//	wave@0-3600:rate=0.2,amp=0.5,period=1200;flash@0-3600:rate=0,peak=1,at=1800,hold=120,mix=int:1
+//
+// Phases are returned sorted by start time (then end, kind, rate) so
+// generation order never depends on how the spec string was assembled.
+func ParseArrivals(spec string) ([]Phase, error) {
+	var phases []Phase
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parsePhase(part)
+		if err != nil {
+			return nil, fmt.Errorf("frontdoor: bad phase %q: %w", part, err)
+		}
+		phases = append(phases, p)
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("frontdoor: empty arrivals spec")
+	}
+	sortPhases(phases)
+	return phases, nil
+}
+
+func parsePhase(s string) (Phase, error) {
+	at := strings.Index(s, "@")
+	if at < 0 {
+		return Phase{}, fmt.Errorf("missing '@'")
+	}
+	kind := strings.ToLower(strings.TrimSpace(s[:at]))
+	switch kind {
+	case "poisson", "mmpp", "wave", "flash", "ramp":
+	default:
+		return Phase{}, fmt.Errorf("unknown arrival kind %q (want poisson, mmpp, wave, flash or ramp)", kind)
+	}
+	rest := s[at+1:]
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return Phase{}, fmt.Errorf("missing ':' before parameters")
+	}
+	window := rest[:colon]
+	dash := strings.Index(window, "-")
+	if dash < 0 {
+		return Phase{}, fmt.Errorf("window %q is not start-end", window)
+	}
+	p := Phase{Kind: kind}
+	start, err := parseArrFloat(window[:dash])
+	if err != nil {
+		return Phase{}, fmt.Errorf("bad window start %q", window[:dash])
+	}
+	end, err := parseArrFloat(window[dash+1:])
+	if err != nil {
+		return Phase{}, fmt.Errorf("bad window end %q", window[dash+1:])
+	}
+	if end <= start {
+		return Phase{}, fmt.Errorf("window end %s is not after start %s", arrFloat(end), arrFloat(start))
+	}
+	p.Start, p.End = start, end
+
+	seen := map[string]bool{}
+	for _, param := range strings.Split(rest[colon+1:], ",") {
+		eq := strings.Index(param, "=")
+		if eq < 0 {
+			return Phase{}, fmt.Errorf("parameter %q is not key=value", param)
+		}
+		key, val := strings.TrimSpace(param[:eq]), strings.TrimSpace(param[eq+1:])
+		if seen[key] {
+			return Phase{}, fmt.Errorf("duplicate parameter %q", key)
+		}
+		seen[key] = true
+		if key == "mix" {
+			mix, err := parseMix(val)
+			if err != nil {
+				return Phase{}, err
+			}
+			p.Mix = mix
+			continue
+		}
+		fv, err := parseArrFloat(val)
+		if err != nil {
+			return Phase{}, fmt.Errorf("%s=%q is not a non-negative finite number", key, val)
+		}
+		switch key {
+		case "rate":
+			p.Rate = fv
+		case "hi":
+			p.Hi = fv
+		case "dwell":
+			p.Dwell = fv
+		case "hidwell":
+			p.HiDwell = fv
+		case "amp":
+			p.Amp = fv
+		case "period":
+			p.Period = fv
+		case "peak":
+			p.Peak = fv
+		case "at":
+			p.FlashAt = fv
+		case "hold":
+			p.Hold = fv
+		case "to":
+			p.To = fv
+		default:
+			return Phase{}, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	if !seen["rate"] {
+		return Phase{}, fmt.Errorf("phase needs rate=")
+	}
+	if err := p.validate(seen); err != nil {
+		return Phase{}, err
+	}
+	return p, nil
+}
+
+// validate enforces the per-kind parameter contract; seen marks which keys
+// the spec supplied, so kind-foreign parameters are rejected rather than
+// silently ignored.
+func (p *Phase) validate(seen map[string]bool) error {
+	allowed := map[string][]string{
+		"poisson": {"rate", "mix"},
+		"mmpp":    {"rate", "hi", "dwell", "hidwell", "mix"},
+		"wave":    {"rate", "amp", "period", "mix"},
+		"flash":   {"rate", "peak", "at", "hold", "mix"},
+		"ramp":    {"rate", "to", "mix"},
+	}[p.Kind]
+	for key := range seen {
+		ok := false
+		for _, a := range allowed {
+			if key == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("%s= does not apply to %s phases", key, p.Kind)
+		}
+	}
+	switch p.Kind {
+	case "poisson":
+		if p.Rate <= 0 {
+			return fmt.Errorf("poisson phase needs rate > 0")
+		}
+	case "mmpp":
+		if p.Hi <= 0 || p.Dwell <= 0 {
+			return fmt.Errorf("mmpp phase needs hi= and dwell= positive")
+		}
+		if !seen["hidwell"] {
+			p.HiDwell = p.Dwell
+		} else if p.HiDwell <= 0 {
+			return fmt.Errorf("mmpp hidwell= must be positive")
+		}
+	case "wave":
+		if p.Rate <= 0 {
+			return fmt.Errorf("wave phase needs rate > 0")
+		}
+		if p.Amp <= 0 || p.Amp > 1 {
+			return fmt.Errorf("wave amp= must be in (0, 1]")
+		}
+		if p.Period <= 0 {
+			return fmt.Errorf("wave phase needs period > 0")
+		}
+	case "flash":
+		if p.Peak <= 0 {
+			return fmt.Errorf("flash phase needs peak > 0")
+		}
+		if !seen["at"] || p.FlashAt < p.Start || p.FlashAt >= p.End {
+			return fmt.Errorf("flash at= must lie inside the window")
+		}
+		if p.Hold <= 0 {
+			return fmt.Errorf("flash phase needs hold > 0")
+		}
+	case "ramp":
+		if p.Rate <= 0 && p.To <= 0 {
+			return fmt.Errorf("ramp phase needs rate or to positive")
+		}
+	}
+	return nil
+}
+
+// parseMix parses class:w/class:w, canonicalized sorted by class name.
+func parseMix(s string) ([]MixEntry, error) {
+	var mix []MixEntry
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, "/") {
+		colon := strings.Index(part, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("mix entry %q is not class:weight", part)
+		}
+		cls := strings.TrimSpace(part[:colon])
+		if !validClassName(cls) {
+			return nil, fmt.Errorf("mix entry %q needs a class of [a-z0-9_-]", part)
+		}
+		if seen[cls] {
+			return nil, fmt.Errorf("duplicate mix class %q", cls)
+		}
+		seen[cls] = true
+		w, err := parseArrFloat(part[colon+1:])
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("mix weight %q is not a positive finite number", part[colon+1:])
+		}
+		mix = append(mix, MixEntry{Class: cls, Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].Class < mix[j].Class })
+	return mix, nil
+}
+
+// validClassName restricts mix class names to lowercase identifiers, so
+// the grammar's separators can never hide inside a class.
+func validClassName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' && r != '-' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseArrFloat parses a non-negative finite float.
+func parseArrFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// sortPhases orders phases by start, then end, kind and rate — a
+// deterministic order, so generation never depends on spec assembly order.
+func sortPhases(phases []Phase) {
+	sort.SliceStable(phases, func(i, j int) bool {
+		a, b := phases[i], phases[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Rate < b.Rate
+	})
+}

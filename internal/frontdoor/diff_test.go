@@ -1,0 +1,114 @@
+package frontdoor
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grads/internal/metasched"
+	"grads/internal/simcore"
+	"grads/internal/telemetry"
+)
+
+// TestDifferentialDirectSubmit: at arrival rates low enough that the QoS
+// engine never intervenes, a single-broker front door must be a pure
+// pass-through — the same completion set AND a byte-identical JSONL trace
+// as direct metasched.Submit of the equivalent stream. This pins the
+// serving layer's zero-interference contract: routing a stream through the
+// front door changes nothing the broker can observe.
+func TestDifferentialDirectSubmit(t *testing.T) {
+	const simSeed, genSeed, horizon = 71, 6, 100000
+	classes := DefaultClasses()
+	phases, err := ParseArrivals("poisson@0-4000:rate=0.01")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reqs, err := Generate(phases, classes, rand.New(rand.NewSource(genSeed)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(reqs) < 20 {
+		t.Fatalf("only %d requests generated, want a meaningful stream", len(reqs))
+	}
+	byName := map[string]Class{}
+	for _, c := range classes {
+		byName[c.Name] = c
+	}
+
+	// Both runs build the identical environment in the identical order; the
+	// broker is unnamed so its telemetry component matches single-broker
+	// direct use exactly.
+	build := func() (*simcore.Sim, *bytes.Buffer, *telemetry.Telemetry, BrokerSpec) {
+		sim := simcore.New(simSeed)
+		tel := telemetry.New()
+		var buf bytes.Buffer
+		tel.AddSink(telemetry.NewJSONL(&buf))
+		sim.SetTelemetry(tel)
+		spec := newFleet(sim, []int{6})[0]
+		spec.Name = ""
+		return sim, &buf, tel, spec
+	}
+
+	// Reference: the stream submitted directly to the broker up front.
+	sim1, buf1, tel1, spec1 := build()
+	direct, err := metasched.New(spec1.Config)
+	if err != nil {
+		t.Fatalf("direct broker: %v", err)
+	}
+	for _, r := range reqs {
+		name := fmt.Sprintf("%s-%06d", r.Class, r.ID)
+		if _, err := direct.Submit(byName[r.Class].Spec(name, r.At)); err != nil {
+			t.Fatalf("direct submit %s: %v", name, err)
+		}
+	}
+	direct.Start()
+	sim1.RunUntil(horizon)
+	tel1.Close()
+
+	// Candidate: the same stream through a quiet single-broker front door.
+	sim2, buf2, tel2, spec2 := build()
+	fd, err := New(Config{
+		Sim: sim2, Brokers: []BrokerSpec{spec2}, Policy: &RoundRobin{},
+		Seed: 1, Quiet: true,
+	})
+	if err != nil {
+		t.Fatalf("frontdoor: %v", err)
+	}
+	if err := fd.Start(reqs); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	sim2.RunUntil(horizon)
+	tel2.Close()
+
+	s := fd.Stats()
+	if s.Drops != 0 || s.Offloads != 0 || s.Pending != 0 {
+		t.Fatalf("front door intervened at trickle load: %+v", s)
+	}
+	rec1, rec2 := direct.Records(), fd.Broker(0).Records()
+	if !reflect.DeepEqual(rec1, rec2) {
+		t.Fatalf("completion sets differ:\ndirect    %+v\nfrontdoor %+v", rec1, rec2)
+	}
+	for _, r := range rec1 {
+		if r.State != "done" {
+			t.Fatalf("job %s ended %s — the trickle stream must not queue or fail", r.Name, r.State)
+		}
+	}
+	if buf1.Len() == 0 {
+		t.Fatal("empty reference trace")
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		a, b := buf1.Bytes(), buf2.Bytes()
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("traces diverge at byte %d:\ndirect    ...%s\nfrontdoor ...%s",
+			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+	}
+}

@@ -1,0 +1,232 @@
+package frontdoor
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"grads/internal/binder"
+	"grads/internal/gis"
+	"grads/internal/ibp"
+	"grads/internal/metasched"
+	"grads/internal/simcore"
+	"grads/internal/telemetry"
+	"grads/internal/topology"
+)
+
+// newFleet builds a serving fleet on one kernel: one single-site grid per
+// broker (with its own GIS, depots and binder), sized by nodeCounts.
+func newFleet(sim *simcore.Sim, nodeCounts []int) []BrokerSpec {
+	specs := make([]BrokerSpec, 0, len(nodeCounts))
+	for i, n := range nodeCounts {
+		site := fmt.Sprintf("site%02d", i)
+		grid := topology.NewGrid(sim)
+		grid.AddSite(site, topology.GigE, topology.LANLatency)
+		for _, sp := range topology.SyntheticSite(site, n) {
+			grid.AddNode(sp)
+		}
+		g := gis.New(sim, grid)
+		g.RegisterSoftwareEverywhere(binder.LocalBinderPkg, "/opt/grads/binder")
+		for _, lib := range []string{"scalapack", "blas", "srs", "autopilot", "mpi"} {
+			g.RegisterSoftwareEverywhere(lib, "/opt/"+lib)
+		}
+		st := ibp.New(sim, grid)
+		st.AddDepotsEverywhere()
+		specs = append(specs, BrokerSpec{
+			Name: site,
+			Config: metasched.Config{
+				Sim: sim, Grid: grid, GIS: g, Storage: st, Binder: binder.New(sim, g),
+				Policy: metasched.PolicyBackfill, Tick: 5,
+			},
+		})
+	}
+	return specs
+}
+
+// TestFrontDoorConservation: every generated request is accounted for —
+// dropped or driven to a terminal state — and the fleet drains completely
+// once intake closes.
+func TestFrontDoorConservation(t *testing.T) {
+	sim := simcore.New(21)
+	phases, err := ParseArrivals("poisson@0-2000:rate=0.05")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reqs, err := Generate(phases, DefaultClasses(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	fd, err := New(Config{Sim: sim, Brokers: newFleet(sim, []int{4, 2}), Policy: &LeastQueue{}, Seed: 7})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := fd.Start(reqs); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	sim.RunUntil(200000)
+
+	s := fd.Stats()
+	if s.Requests != len(reqs) {
+		t.Fatalf("requests = %d, want %d", s.Requests, len(reqs))
+	}
+	terminal := 0
+	for _, c := range s.Classes {
+		terminal += c.Done + c.Failed
+	}
+	if s.Requests != s.Drops+terminal+s.Pending {
+		t.Fatalf("conservation broken: %d requests, %d drops, %d terminal, %d pending",
+			s.Requests, s.Drops, terminal, s.Pending)
+	}
+	if s.Pending != 0 {
+		t.Fatalf("%d requests still pending after drain horizon", s.Pending)
+	}
+	if terminal == 0 {
+		t.Fatal("no requests completed")
+	}
+	routed := 0
+	for i, b := range s.Brokers {
+		routed += b.Routed
+		if got := len(fd.Broker(i).Jobs()); got != b.Routed {
+			t.Fatalf("broker %s ledger has %d jobs, routed %d", b.Name, got, b.Routed)
+		}
+	}
+	if routed != s.Requests-s.Drops {
+		t.Fatalf("routed %d, want %d", routed, s.Requests-s.Drops)
+	}
+	if s.Fairness <= 0 || s.Fairness > 1 {
+		t.Fatalf("fairness %g outside (0, 1]", s.Fairness)
+	}
+	if s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Fatalf("quantiles not monotone: p50=%g p95=%g p99=%g", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestFrontDoorDeterminism: two identically seeded serving runs produce
+// byte-identical JSONL traces and identical stats.
+func TestFrontDoorDeterminism(t *testing.T) {
+	run := func() ([]byte, Stats) {
+		sim := simcore.New(33)
+		tel := telemetry.New()
+		var buf bytes.Buffer
+		tel.AddSink(telemetry.NewJSONL(&buf))
+		sim.SetTelemetry(tel)
+		specs := newFleet(sim, []int{4, 2, 2})
+		phases, err := ParseArrivals("wave@0-1500:rate=0.08,amp=0.5,period=500")
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		reqs, err := Generate(phases, DefaultClasses(), rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		fd, err := New(Config{Sim: sim, Brokers: specs, Policy: &UCB{Explore: 1}, Seed: 5})
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		if err := fd.Start(reqs); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		sim.RunUntil(100000)
+		tel.Close()
+		return buf.Bytes(), fd.Stats()
+	}
+	trace1, stats1 := run()
+	trace2, stats2 := run()
+	if !bytes.Equal(trace1, trace2) {
+		t.Fatal("identically seeded runs produced different traces")
+	}
+	if !reflect.DeepEqual(stats1, stats2) {
+		t.Fatalf("identically seeded runs produced different stats:\n%+v\n%+v", stats1, stats2)
+	}
+	if len(trace1) == 0 {
+		t.Fatal("no trace emitted")
+	}
+}
+
+// TestFrontDoorShedsUnderOverload: a tiny broker under a heavy interactive
+// stream with a tight SLO blows past its p95 target; the QoS engine must
+// shed load (pressure drops and breaker fast-fails) rather than queue
+// without bound, while conservation still holds mid-collapse.
+func TestFrontDoorShedsUnderOverload(t *testing.T) {
+	sim := simcore.New(44)
+	classes := []Class{
+		{Name: "int", Weight: 1, Target: 30, Tasks: 2, Flops: 2e8, Width: 1, MinWidth: 1, Bid: 8, Est: 20},
+	}
+	phases, err := ParseArrivals("poisson@0-1200:rate=0.5,mix=int:1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	reqs, err := Generate(phases, classes, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	fd, err := New(Config{
+		Sim: sim, Brokers: newFleet(sim, []int{2}), Policy: &RoundRobin{},
+		Classes: classes, Seed: 3, MinSamples: 4,
+	})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if err := fd.Start(reqs); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	sim.RunUntil(400000)
+
+	s := fd.Stats()
+	if s.Drops == 0 {
+		t.Fatal("overloaded front door shed nothing")
+	}
+	cls := s.Classes[0]
+	if cls.Breaches == 0 {
+		t.Fatal("no SLO breaches recorded under overload")
+	}
+	terminal := cls.Done + cls.Failed
+	if s.Requests != s.Drops+terminal+s.Pending {
+		t.Fatalf("conservation broken under overload: %d requests, %d drops, %d terminal, %d pending",
+			s.Requests, s.Drops, terminal, s.Pending)
+	}
+}
+
+// TestUCBAvoidsWeakBroker: on a lopsided fleet the bandit concentrates
+// traffic on the big broker well past its capacity share, where blind
+// round-robin splits evenly.
+func TestUCBAvoidsWeakBroker(t *testing.T) {
+	routedShare := func(p Policy) float64 {
+		sim := simcore.New(55)
+		phases, err := ParseArrivals("poisson@0-3000:rate=0.1,mix=int:3/batch:1")
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		reqs, err := Generate(phases, DefaultClasses(), rand.New(rand.NewSource(8)))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		fd, err := New(Config{Sim: sim, Brokers: newFleet(sim, []int{8, 2}), Policy: p, Seed: 8})
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		if err := fd.Start(reqs); err != nil {
+			t.Fatalf("start: %v", err)
+		}
+		sim.RunUntil(300000)
+		s := fd.Stats()
+		total := 0
+		for _, b := range s.Brokers {
+			total += b.Routed
+		}
+		if total == 0 {
+			t.Fatal("nothing routed")
+		}
+		return float64(s.Brokers[0].Routed) / float64(total)
+	}
+	ucb := routedShare(&UCB{Explore: 1})
+	rr := routedShare(&RoundRobin{})
+	if ucb <= rr {
+		t.Fatalf("ucb sent %.2f of traffic to the big broker, round-robin %.2f — bandit learned nothing", ucb, rr)
+	}
+	if ucb < 0.6 {
+		t.Fatalf("ucb big-broker share %.2f, want well above the even split", ucb)
+	}
+}

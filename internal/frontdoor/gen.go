@@ -1,0 +1,177 @@
+package frontdoor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Request is one generated front-door arrival: a QoS class materializing at
+// a virtual instant. IDs are dense and ordered by arrival time.
+type Request struct {
+	ID    int
+	Class string
+	At    float64
+}
+
+// Generate realizes the arrival phases into a concrete request stream using
+// only the supplied seeded source: thinning against each phase's peak rate
+// turns the non-homogeneous intensity into arrival instants, and each
+// arrival draws its class from the phase mix (or the classes' default
+// weights). Overlapping phases superpose. The stream is sorted by time with
+// deterministic tie-breaks, and IDs follow that order, so a (spec, classes,
+// seed) triple always yields the identical stream.
+func Generate(phases []Phase, classes []Class, rng *rand.Rand) ([]Request, error) {
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("frontdoor: no request classes")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("frontdoor: Generate needs a seeded source")
+	}
+	byName := make(map[string]bool, len(classes))
+	defMix := make([]MixEntry, len(classes))
+	for i, c := range classes {
+		if byName[c.Name] {
+			return nil, fmt.Errorf("frontdoor: duplicate class %q", c.Name)
+		}
+		byName[c.Name] = true
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		defMix[i] = MixEntry{Class: c.Name, Weight: w}
+	}
+
+	type raw struct {
+		at    float64
+		phase int
+	}
+	var arrivals []raw
+	for pi := range phases {
+		p := &phases[pi]
+		for _, m := range p.Mix {
+			if !byName[m.Class] {
+				return nil, fmt.Errorf("frontdoor: phase %d mix names unknown class %q", pi, m.Class)
+			}
+		}
+		lmax := p.peakRate()
+		if lmax <= 0 {
+			continue
+		}
+		rate := p.rateFn(rng)
+		// Thinning: candidate arrivals at the peak rate, accepted with
+		// probability lambda(t)/lmax, realize the exact intensity.
+		for t := p.Start; ; {
+			t += rng.ExpFloat64() / lmax
+			if t >= p.End {
+				break
+			}
+			if rng.Float64()*lmax <= rate(t) {
+				arrivals = append(arrivals, raw{at: t, phase: pi})
+			}
+		}
+	}
+	sort.SliceStable(arrivals, func(i, j int) bool {
+		if arrivals[i].at != arrivals[j].at {
+			return arrivals[i].at < arrivals[j].at
+		}
+		return arrivals[i].phase < arrivals[j].phase
+	})
+
+	// Class draws happen in final stream order (not per-phase generation
+	// order), so the class sequence is a pure function of the sorted stream.
+	reqs := make([]Request, len(arrivals))
+	for i, a := range arrivals {
+		mix := phases[a.phase].Mix
+		if len(mix) == 0 {
+			mix = defMix
+		}
+		reqs[i] = Request{ID: i, Class: drawClass(mix, rng), At: a.at}
+	}
+	return reqs, nil
+}
+
+// drawClass samples one class from the mix weights.
+func drawClass(mix []MixEntry, rng *rand.Rand) string {
+	total := 0.0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	x := rng.Float64() * total
+	for _, m := range mix {
+		x -= m.Weight
+		if x < 0 {
+			return m.Class
+		}
+	}
+	return mix[len(mix)-1].Class
+}
+
+// peakRate is the phase's maximum instantaneous rate, the thinning bound.
+func (p *Phase) peakRate() float64 {
+	switch p.Kind {
+	case "mmpp":
+		return math.Max(p.Rate, p.Hi)
+	case "wave":
+		return p.Rate * (1 + p.Amp)
+	case "flash":
+		return math.Max(p.Rate, p.Peak)
+	case "ramp":
+		return math.Max(p.Rate, p.To)
+	}
+	return p.Rate
+}
+
+// rateFn returns the phase's instantaneous intensity lambda(t). For mmpp
+// the modulating state sequence is realized up front from rng (exponential
+// dwells alternating low/high from the low state), so the returned function
+// is pure and the draw order is fixed.
+func (p *Phase) rateFn(rng *rand.Rand) func(t float64) float64 {
+	switch p.Kind {
+	case "poisson":
+		r := p.Rate
+		return func(float64) float64 { return r }
+	case "mmpp":
+		// switches[i] is the instant of the i-th state flip; the state at t
+		// is high iff the number of flips before t is odd.
+		var switches []float64
+		t, high := p.Start, false
+		for t < p.End {
+			mean := p.Dwell
+			if high {
+				mean = p.HiDwell
+			}
+			t += rng.ExpFloat64() * mean
+			high = !high
+			switches = append(switches, t)
+		}
+		lo, hi := p.Rate, p.Hi
+		return func(t float64) float64 {
+			n := sort.SearchFloat64s(switches, t)
+			if n%2 == 1 {
+				return hi
+			}
+			return lo
+		}
+	case "wave":
+		base, amp, period, start := p.Rate, p.Amp, p.Period, p.Start
+		return func(t float64) float64 {
+			return base * (1 + amp*math.Sin(2*math.Pi*(t-start)/period))
+		}
+	case "flash":
+		base, peak, from, until := p.Rate, p.Peak, p.FlashAt, p.FlashAt+p.Hold
+		return func(t float64) float64 {
+			if t >= from && t < until {
+				return peak
+			}
+			return base
+		}
+	case "ramp":
+		from, to, start, span := p.Rate, p.To, p.Start, p.End-p.Start
+		return func(t float64) float64 {
+			return from + (to-from)*(t-start)/span
+		}
+	}
+	return func(float64) float64 { return 0 }
+}

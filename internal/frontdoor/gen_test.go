@@ -1,0 +1,154 @@
+package frontdoor
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func genFrom(t *testing.T, spec string, seed int64) []Request {
+	t.Helper()
+	phases, err := ParseArrivals(spec)
+	if err != nil {
+		t.Fatalf("parse %q: %v", spec, err)
+	}
+	reqs, err := Generate(phases, DefaultClasses(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("generate %q: %v", spec, err)
+	}
+	return reqs
+}
+
+// TestGenerateDeterministic: a (spec, classes, seed) triple always yields
+// the identical stream; a different seed yields a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := "wave@0-4000:rate=0.2,amp=0.5,period=1000;flash@0-4000:rate=0,peak=0.5,at=2000,hold=200,mix=int:1"
+	a := genFrom(t, spec, 11)
+	b := genFrom(t, spec, 11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := genFrom(t, spec, 12)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	for i, r := range a {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d (IDs must be dense in time order)", i, r.ID)
+		}
+		if i > 0 && r.At < a[i-1].At {
+			t.Fatalf("request %d at %g precedes request %d at %g", i, r.At, i-1, a[i-1].At)
+		}
+	}
+}
+
+// TestGeneratePoissonRate: a homogeneous phase realizes close to rate*T
+// arrivals, all inside the window.
+func TestGeneratePoissonRate(t *testing.T) {
+	reqs := genFrom(t, "poisson@100-10100:rate=0.2", 1)
+	want := 0.2 * 10000
+	if got := float64(len(reqs)); math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Fatalf("got %g arrivals, want about %g", got, want)
+	}
+	for _, r := range reqs {
+		if r.At < 100 || r.At >= 10100 {
+			t.Fatalf("arrival %g outside window [100, 10100)", r.At)
+		}
+	}
+}
+
+// TestGenerateMixProportions: class draws follow the phase mix.
+func TestGenerateMixProportions(t *testing.T) {
+	reqs := genFrom(t, "poisson@0-20000:rate=0.3,mix=int:3/bulk:1", 2)
+	counts := map[string]int{}
+	for _, r := range reqs {
+		counts[r.Class]++
+	}
+	if counts["batch"] != 0 {
+		t.Fatalf("mix excluded batch but generated %d", counts["batch"])
+	}
+	frac := float64(counts["int"]) / float64(len(reqs))
+	if math.Abs(frac-0.75) > 0.03 {
+		t.Fatalf("int fraction %g, want about 0.75", frac)
+	}
+}
+
+// TestGenerateFlash: the flash window is much denser than the baseline.
+func TestGenerateFlash(t *testing.T) {
+	reqs := genFrom(t, "flash@0-10000:rate=0.02,peak=1,at=4000,hold=1000", 3)
+	in, out := 0, 0
+	for _, r := range reqs {
+		if r.At >= 4000 && r.At < 5000 {
+			in++
+		} else {
+			out++
+		}
+	}
+	// Inside: ~1000 arrivals over 1000 s; outside: ~180 over 9000 s.
+	inRate, outRate := float64(in)/1000, float64(out)/9000
+	if inRate < 20*outRate {
+		t.Fatalf("flash density %g not well above baseline %g", inRate, outRate)
+	}
+}
+
+// TestGenerateRamp: a 0->r ramp loads the second half of the window more
+// heavily than the first.
+func TestGenerateRamp(t *testing.T) {
+	reqs := genFrom(t, "ramp@0-10000:rate=0,to=0.4", 4)
+	lo, hi := 0, 0
+	for _, r := range reqs {
+		if r.At < 5000 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	// Expected split is 1:3 (integral of a linear ramp).
+	if lo == 0 || float64(hi)/float64(lo) < 2 {
+		t.Fatalf("ramp split lo=%d hi=%d, want hi about 3x lo", lo, hi)
+	}
+}
+
+// TestGenerateMMPP: the modulated stream's volume lands between the pure
+// low-rate and pure high-rate extremes, away from both.
+func TestGenerateMMPP(t *testing.T) {
+	reqs := genFrom(t, "mmpp@0-40000:rate=0.05,hi=0.5,dwell=500", 5)
+	n := float64(len(reqs))
+	// Equal mean dwells: expected rate is the average 0.275/s over 40000 s.
+	if n < 0.1*40000 || n > 0.45*40000 {
+		t.Fatalf("mmpp generated %g arrivals, want between the modulated extremes", n)
+	}
+}
+
+// TestGenerateSuperposition: overlapping phases superpose their streams.
+func TestGenerateSuperposition(t *testing.T) {
+	one := genFrom(t, "poisson@0-10000:rate=0.1", 6)
+	two := genFrom(t, "poisson@0-10000:rate=0.1;poisson@0-10000:rate=0.1", 6)
+	if len(two) < len(one)*3/2 {
+		t.Fatalf("superposed stream has %d arrivals, single %d", len(two), len(one))
+	}
+}
+
+// TestGenerateErrors: unknown mix classes, duplicate classes and a nil
+// source are rejected.
+func TestGenerateErrors(t *testing.T) {
+	phases, err := ParseArrivals("poisson@0-10:rate=1,mix=nosuch:1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Generate(phases, DefaultClasses(), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown mix class accepted")
+	}
+	ok, _ := ParseArrivals("poisson@0-10:rate=1")
+	if _, err := Generate(ok, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("empty class list accepted")
+	}
+	if _, err := Generate(ok, DefaultClasses(), nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	dup := []Class{{Name: "a", Width: 1}, {Name: "a", Width: 1}}
+	if _, err := Generate(ok, dup, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("duplicate class list accepted")
+	}
+}

@@ -1,0 +1,172 @@
+package frontdoor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// brokerView is the per-broker state a routing policy reads: the broker's
+// nominal capacity, its in-flight request count, and its observed
+// completion-latency statistics (running mean over n completions). The
+// front door maintains it; policies only read it, so every Pick stays
+// allocation-free.
+type brokerView struct {
+	capacity    float64
+	outstanding int
+	n           int
+	meanLat     float64
+}
+
+// Policy picks a broker for each request. Pick must not allocate — it is
+// the balancer hot path, benchmarked and CI-gated at 0 allocs/op. All
+// randomness comes from the front door's seeded source.
+type Policy interface {
+	Name() string
+	Pick(views []brokerView, rng *rand.Rand) int
+}
+
+// PolicyNames lists the accepted -route policy names.
+func PolicyNames() []string { return []string{"rr", "least", "wrand", "ucb", "eps"} }
+
+// ParseRoutePolicy builds a routing policy from its -route name:
+//
+//	rr      round-robin
+//	least   fewest in-flight requests
+//	wrand   random, weighted by broker capacity
+//	ucb     UCB1 bandit on observed completion latency
+//	eps     epsilon-greedy bandit (10% exploration)
+func ParseRoutePolicy(name string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "rr", "round-robin":
+		return &RoundRobin{}, nil
+	case "least", "least-queue":
+		return &LeastQueue{}, nil
+	case "wrand", "weighted-random":
+		return &WeightedRandom{}, nil
+	case "ucb":
+		return &UCB{Explore: 1}, nil
+	case "eps", "epsilon-greedy":
+		return &EpsilonGreedy{Epsilon: 0.1}, nil
+	}
+	return nil, fmt.Errorf("frontdoor: unknown routing policy %q (want %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// RoundRobin cycles through the brokers in order, blind to load.
+type RoundRobin struct{ next int }
+
+// Name returns the policy's -route name.
+func (p *RoundRobin) Name() string { return "rr" }
+
+// Pick returns the next broker in rotation.
+func (p *RoundRobin) Pick(views []brokerView, _ *rand.Rand) int {
+	i := p.next % len(views)
+	p.next++
+	return i
+}
+
+// LeastQueue picks the broker with the fewest in-flight requests (lowest
+// index on ties), the classic join-the-shortest-queue heuristic.
+type LeastQueue struct{}
+
+// Name returns the policy's -route name.
+func (p *LeastQueue) Name() string { return "least" }
+
+// Pick returns the broker with the smallest outstanding count.
+func (p *LeastQueue) Pick(views []brokerView, _ *rand.Rand) int {
+	best := 0
+	for i := 1; i < len(views); i++ {
+		if views[i].outstanding < views[best].outstanding {
+			best = i
+		}
+	}
+	return best
+}
+
+// WeightedRandom picks a broker with probability proportional to its
+// capacity: load lands where the nodes are, but with no feedback.
+type WeightedRandom struct{}
+
+// Name returns the policy's -route name.
+func (p *WeightedRandom) Name() string { return "wrand" }
+
+// Pick draws one broker by capacity weight.
+func (p *WeightedRandom) Pick(views []brokerView, rng *rand.Rand) int {
+	total := 0.0
+	for i := range views {
+		total += views[i].capacity
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := rng.Float64() * total
+	for i := range views {
+		x -= views[i].capacity
+		if x < 0 {
+			return i
+		}
+	}
+	return len(views) - 1
+}
+
+// UCB is a UCB1 bandit over completion latency: each broker's score is its
+// mean observed latency minus an optimism bonus that shrinks as the broker
+// accumulates observations, and the lowest score wins. The bonus is scaled
+// by the fleet-wide mean latency so exploration stays meaningful whatever
+// the workload's latency magnitude. Unobserved brokers are tried first.
+type UCB struct {
+	// Explore scales the optimism bonus (1 is standard UCB1).
+	Explore float64
+}
+
+// Name returns the policy's -route name.
+func (p *UCB) Name() string { return "ucb" }
+
+// Pick returns the broker minimizing mean latency minus the UCB bonus.
+func (p *UCB) Pick(views []brokerView, _ *rand.Rand) int {
+	total := 0
+	latSum := 0.0
+	for i := range views {
+		if views[i].n == 0 {
+			return i
+		}
+		total += views[i].n
+		latSum += views[i].meanLat * float64(views[i].n)
+	}
+	scale := latSum / float64(total)
+	logTotal := math.Log(float64(total))
+	best, bestScore := 0, math.Inf(1)
+	for i := range views {
+		bonus := p.Explore * scale * math.Sqrt(2*logTotal/float64(views[i].n))
+		if score := views[i].meanLat - bonus; score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// EpsilonGreedy explores a uniform random broker with probability Epsilon
+// and otherwise exploits the lowest observed mean latency. Unobserved
+// brokers count as latency 0, so every broker is exploited at least once.
+type EpsilonGreedy struct {
+	Epsilon float64
+}
+
+// Name returns the policy's -route name.
+func (p *EpsilonGreedy) Name() string { return "eps" }
+
+// Pick explores with probability Epsilon, else exploits the best mean.
+func (p *EpsilonGreedy) Pick(views []brokerView, rng *rand.Rand) int {
+	if rng.Float64() < p.Epsilon {
+		return rng.Intn(len(views))
+	}
+	best := 0
+	for i := 1; i < len(views); i++ {
+		if views[i].meanLat < views[best].meanLat {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+package frontdoor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func views4() []brokerView {
+	return []brokerView{
+		{capacity: 8}, {capacity: 4}, {capacity: 2}, {capacity: 2},
+	}
+}
+
+// TestParseRoutePolicy: every advertised name resolves, aliases included,
+// and junk is rejected.
+func TestParseRoutePolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParseRoutePolicy(name)
+		if err != nil {
+			t.Fatalf("parse %q: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	for _, alias := range []string{"round-robin", "least-queue", "weighted-random", "epsilon-greedy", " RR "} {
+		if _, err := ParseRoutePolicy(alias); err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+	}
+	if _, err := ParseRoutePolicy("random-forest"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+// TestRoundRobinCycles: rr visits every broker in order, forever.
+func TestRoundRobinCycles(t *testing.T) {
+	p := &RoundRobin{}
+	vs := views4()
+	for i := 0; i < 12; i++ {
+		if got := p.Pick(vs, nil); got != i%4 {
+			t.Fatalf("pick %d = %d, want %d", i, got, i%4)
+		}
+	}
+}
+
+// TestLeastQueuePicksShortest: least picks the minimum outstanding count,
+// lowest index on ties.
+func TestLeastQueuePicksShortest(t *testing.T) {
+	p := &LeastQueue{}
+	vs := views4()
+	vs[0].outstanding, vs[1].outstanding, vs[2].outstanding, vs[3].outstanding = 5, 2, 7, 2
+	if got := p.Pick(vs, nil); got != 1 {
+		t.Fatalf("pick = %d, want 1", got)
+	}
+	vs[1].outstanding = 9
+	if got := p.Pick(vs, nil); got != 3 {
+		t.Fatalf("pick = %d, want 3", got)
+	}
+}
+
+// TestWeightedRandomFollowsCapacity: wrand lands on brokers roughly in
+// proportion to capacity.
+func TestWeightedRandomFollowsCapacity(t *testing.T) {
+	p := &WeightedRandom{}
+	vs := views4() // capacities 8/4/2/2
+	rng := rand.New(rand.NewSource(9))
+	counts := make([]int, len(vs))
+	for i := 0; i < 16000; i++ {
+		counts[p.Pick(vs, rng)]++
+	}
+	for i, want := range []float64{0.5, 0.25, 0.125, 0.125} {
+		got := float64(counts[i]) / 16000
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("broker %d drew fraction %g, want about %g", i, got, want)
+		}
+	}
+}
+
+// TestUCBExploresThenExploits: unobserved brokers are tried first; once
+// everything is well observed, the lowest-latency broker dominates.
+func TestUCBExploresThenExploits(t *testing.T) {
+	p := &UCB{Explore: 1}
+	vs := views4()
+	seen := map[int]bool{}
+	for i := 0; i < len(vs); i++ {
+		got := p.Pick(vs, nil)
+		if seen[got] {
+			t.Fatalf("broker %d picked again before all were explored", got)
+		}
+		seen[got] = true
+		vs[got].n = 1
+		vs[got].meanLat = float64(100 * (got + 1))
+	}
+	// Feed many observations so the optimism bonus shrinks.
+	for i := range vs {
+		vs[i].n = 500
+	}
+	if got := p.Pick(vs, nil); got != 0 {
+		t.Fatalf("well-observed pick = %d, want the fastest broker 0", got)
+	}
+	// A fast broker with almost no observations should be re-tried: its
+	// bonus dwarfs the exploited broker's advantage.
+	vs[3].n = 1
+	if got := p.Pick(vs, nil); got != 3 {
+		t.Fatalf("pick = %d, want under-observed broker 3", got)
+	}
+}
+
+// TestEpsilonGreedy: eps=0 always exploits the best mean; eps=1 explores
+// roughly uniformly.
+func TestEpsilonGreedy(t *testing.T) {
+	vs := views4()
+	for i := range vs {
+		vs[i].n = 10
+		vs[i].meanLat = float64(100 - 10*i)
+	}
+	greedy := &EpsilonGreedy{Epsilon: 0}
+	rng := rand.New(rand.NewSource(10))
+	if got := greedy.Pick(vs, rng); got != 3 {
+		t.Fatalf("greedy pick = %d, want 3", got)
+	}
+	explore := &EpsilonGreedy{Epsilon: 1}
+	counts := make([]int, len(vs))
+	for i := 0; i < 8000; i++ {
+		counts[explore.Pick(vs, rng)]++
+	}
+	for i, c := range counts {
+		if c < 1600 || c > 2400 {
+			t.Fatalf("broker %d explored %d/8000 times, want about uniform", i, c)
+		}
+	}
+}
+
+// TestPickAllocs: the routing decision is the balancer hot path and must
+// not allocate, whatever the policy.
+func TestPickAllocs(t *testing.T) {
+	vs := views4()
+	for i := range vs {
+		vs[i].n = 3 + i
+		vs[i].meanLat = float64(50 + i)
+		vs[i].outstanding = i
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range []Policy{
+		&RoundRobin{}, &LeastQueue{}, &WeightedRandom{}, &UCB{Explore: 1}, &EpsilonGreedy{Epsilon: 0.1},
+	} {
+		pol := p
+		if n := testing.AllocsPerRun(200, func() { pol.Pick(vs, rng) }); n != 0 {
+			t.Fatalf("policy %s allocates %g per pick", pol.Name(), n)
+		}
+	}
+}
+
+// benchPick exercises one policy's Pick over a warm 4-broker fleet.
+func benchPick(b *testing.B, p Policy) {
+	vs := views4()
+	for i := range vs {
+		vs[i].n = 100 + i
+		vs[i].meanLat = float64(40 + 20*i)
+		vs[i].outstanding = 3 * i
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += p.Pick(vs, rng)
+	}
+	_ = sink
+}
+
+// BenchmarkRouteUCB is the balancer hot path under the bandit policy —
+// CI-gated at 0 allocs/op (see the serve-bench benchguard job).
+func BenchmarkRouteUCB(b *testing.B) { benchPick(b, &UCB{Explore: 1}) }
+
+// BenchmarkRouteLeast is the join-shortest-queue hot path, same gate.
+func BenchmarkRouteLeast(b *testing.B) { benchPick(b, &LeastQueue{}) }

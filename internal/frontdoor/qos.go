@@ -1,0 +1,132 @@
+package frontdoor
+
+import (
+	"fmt"
+
+	"grads/internal/apps"
+	"grads/internal/cop"
+	"grads/internal/metasched"
+	"grads/internal/resilience"
+	"grads/internal/telemetry"
+)
+
+// Class is one QoS request class: the grid job shape a request of the
+// class expands into, its economic weight, and its p95 latency target.
+type Class struct {
+	Name   string
+	Weight float64 // default share of the request mix
+
+	// Target is the class's p95 end-to-end latency objective in seconds;
+	// the QoS engine sheds load when the observed p95 drifts past it.
+	Target float64
+
+	// Job shape: a task farm of Tasks units of Flops each on a lease of
+	// Width nodes (shrinkable to MinWidth).
+	Tasks    int
+	Flops    float64
+	Width    int
+	MinWidth int
+
+	Bid float64 // willingness to pay per node-round
+	Est float64 // runtime estimate handed to backfill
+}
+
+// DefaultClasses is the serving workload's three-tier mix: latency-bound
+// interactive requests, mid-weight batch analyses, and wide bulk jobs.
+// Weights follow the usual traffic pyramid (most requests are small).
+func DefaultClasses() []Class {
+	return []Class{
+		{Name: "int", Weight: 6, Target: 60, Tasks: 2, Flops: 2e8, Width: 1, MinWidth: 1, Bid: 8, Est: 20},
+		{Name: "batch", Weight: 3, Target: 300, Tasks: 8, Flops: 1e9, Width: 2, MinWidth: 1, Bid: 4, Est: 120},
+		{Name: "bulk", Weight: 1, Target: 1200, Tasks: 16, Flops: 2e9, Width: 4, MinWidth: 2, Bid: 2, Est: 400},
+	}
+}
+
+// Spec expands one request of this class into the metascheduler job it
+// submits: a task farm built against the target broker's grid.
+func (c Class) Spec(name string, submit float64) metasched.JobSpec {
+	cls := c
+	return metasched.JobSpec{
+		Name: name, Kind: cls.Name, Submit: submit,
+		Width: cls.Width, MinWidth: cls.MinWidth, Bid: cls.Bid, EstRuntime: cls.Est,
+		Make: func(ctx *metasched.AppContext) (cop.COP, error) {
+			farm, err := apps.NewTaskFarm(ctx.Grid, ctx.RSS, ctx.Binder, ctx.Weather, cls.Tasks, cls.Flops, cls.Width)
+			if err != nil {
+				return nil, err
+			}
+			farm.CheckpointEvery = 4
+			return farm, nil
+		},
+	}
+}
+
+// classState is the QoS engine's live view of one class: its latency
+// history, SLO breaker and outcome ledger.
+type classState struct {
+	cls     Class
+	hist    telemetry.Histogram // completion latency, seconds
+	breaker *resilience.Breaker
+
+	requests int
+	drops    int
+	offloads int
+	done     int
+	failed   int
+	breaches int // completions past Target (or terminal failures)
+}
+
+// pressure is the class's congestion signal: observed p95 latency over the
+// target, 0 until enough completions have been seen to trust the estimate.
+func (s *classState) pressure(minSamples int) float64 {
+	if int(s.hist.Count()) < minSamples || s.cls.Target <= 0 {
+		return 0
+	}
+	return s.hist.Quantile(0.95) / s.cls.Target
+}
+
+// ClassStats is one class's flattened outcome for experiment tables.
+type ClassStats struct {
+	Name     string
+	Requests int
+	Done     int
+	Failed   int
+	Drops    int
+	Offloads int
+	Breaches int
+	Mean     float64
+	P50      float64
+	P95      float64
+	P99      float64
+}
+
+func (s *classState) stats() ClassStats {
+	qs := s.hist.Quantiles(0.5, 0.95, 0.99)
+	return ClassStats{
+		Name:     s.cls.Name,
+		Requests: s.requests,
+		Done:     s.done,
+		Failed:   s.failed,
+		Drops:    s.drops,
+		Offloads: s.offloads,
+		Breaches: s.breaches,
+		Mean:     s.hist.Mean(),
+		P50:      qs[0],
+		P95:      qs[1],
+		P99:      qs[2],
+	}
+}
+
+// classByName indexes a class list, rejecting duplicates.
+func classByName(classes []Class) (map[string]int, error) {
+	idx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		if c.Name == "" {
+			return nil, fmt.Errorf("frontdoor: class %d has no name", i)
+		}
+		if _, dup := idx[c.Name]; dup {
+			return nil, fmt.Errorf("frontdoor: duplicate class %q", c.Name)
+		}
+		idx[c.Name] = i
+	}
+	return idx, nil
+}

@@ -129,6 +129,13 @@ func (j *Job) Report() *appmgr.Report { return j.report }
 // Err returns the terminal error of a failed job.
 func (j *Job) Err() error { return j.failErr }
 
+// Times returns the job's submit, first-admission and finish instants in
+// virtual time. Start is 0 until the job was first admitted, Finish is 0
+// until it reached a terminal state.
+func (j *Job) Times() (submit, start, finish float64) {
+	return j.submitAt, j.startAt, j.finishAt
+}
+
 // minWidth is the smallest acceptable lease.
 func (j *Job) minWidth() int {
 	if j.Spec.MinWidth > 0 {
@@ -212,12 +219,33 @@ type Config struct {
 
 	// OnIdle, when set, fires once when the last submitted job finishes.
 	OnIdle func()
+
+	// Name, when set, identifies this broker in a multi-broker fleet: the
+	// scheduler's telemetry component becomes "metasched:<name>" so each
+	// broker's queue/price gauges stay distinct (lease counters remain on
+	// the shared "metasched" component — they are fleet-wide totals).
+	// Empty keeps the single-broker component "metasched".
+	Name string
+
+	// HoldOpen keeps the admission daemon alive while the submission
+	// stream is still open, even when every job submitted so far has
+	// finished. Open-loop front ends (internal/frontdoor) submit jobs
+	// during the run; without HoldOpen a lull in arrivals would retire
+	// the daemon and strand every later submission. Call CloseIntake once
+	// the last submission is in; OnIdle then fires when the queue drains.
+	HoldOpen bool
+
+	// OnJobDone, when set, fires after every job reaches a terminal state
+	// (done, failed or quarantined), before any OnIdle. Front-door load
+	// balancers use it to observe per-job completion latency.
+	OnJobDone func(*Job)
 }
 
 // Scheduler is the metascheduler: it owns the admission queue, the lease
 // ledger and the preemption negotiation over one emulated Grid.
 type Scheduler struct {
 	cfg    Config
+	comp   string // telemetry component: "metasched" or "metasched:<name>"
 	leases *LeaseManager
 	resch  *rescheduler.Rescheduler
 	pricer *economy.SpotPricer
@@ -261,8 +289,13 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.RelaxAfter == 0 {
 		cfg.RelaxAfter = 2 * cfg.StarveAfter
 	}
+	comp := "metasched"
+	if cfg.Name != "" {
+		comp = "metasched:" + cfg.Name
+	}
 	s := &Scheduler{
 		cfg:    cfg,
+		comp:   comp,
 		leases: NewLeaseManager(cfg.Sim, cfg.Grid),
 		resch:  rescheduler.New(cfg.Grid, cfg.Weather),
 		pricer: economy.NewSpotPricer(cfg.PriceFloor, cfg.PriceAlpha),
@@ -273,6 +306,11 @@ func New(cfg Config) (*Scheduler, error) {
 
 // Leases exposes the lease ledger (utilization accounting, reclaim stats).
 func (s *Scheduler) Leases() *LeaseManager { return s.leases }
+
+// Detector returns the broker's failure detector (nil unless DetectorPeriod
+// was set and Start has run). Front-door brownout shedding reads its suspect
+// count.
+func (s *Scheduler) Detector() *resilience.Detector { return s.det }
 
 // Price returns the current posted spot price.
 func (s *Scheduler) Price() float64 { return s.pricer.Price() }
@@ -338,9 +376,9 @@ func (s *Scheduler) arrive(job *Job) {
 	job.enqueuedAt = s.cfg.Sim.Now()
 	s.queued = append(s.queued, job)
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Counter("metasched", "submissions").Inc()
+		tel.Counter(s.comp, "submissions").Inc()
 		tel.Emit(telemetry.Event{
-			Type: telemetry.EvJobSubmit, Comp: "metasched", Name: job.Spec.Name,
+			Type: telemetry.EvJobSubmit, Comp: s.comp, Name: job.Spec.Name,
 			Args: []telemetry.Arg{
 				telemetry.S("kind", job.Spec.Kind),
 				telemetry.I("width", job.Spec.Width),
@@ -365,14 +403,27 @@ func (s *Scheduler) Start() {
 		s.det.OnRecovery(poke)
 		s.det.Start()
 	}
-	s.proc = s.cfg.Sim.Spawn("metasched", func(p *simcore.Proc) {
-		for !s.stopped && s.remaining > 0 {
+	s.proc = s.cfg.Sim.Spawn(s.comp, func(p *simcore.Proc) {
+		for !s.stopped && (s.cfg.HoldOpen || s.remaining > 0) {
 			if err := p.Sleep(s.cfg.Tick); err != nil {
 				return
 			}
 			s.round(p)
 		}
 	})
+}
+
+// CloseIntake declares the submission stream finished on a HoldOpen broker:
+// the daemon retires once the queue drains, and OnIdle fires immediately if
+// it already has. No-op on a broker that was never held open.
+func (s *Scheduler) CloseIntake() {
+	if !s.cfg.HoldOpen {
+		return
+	}
+	s.cfg.HoldOpen = false
+	if s.remaining == 0 && s.cfg.OnIdle != nil {
+		s.cfg.OnIdle()
+	}
 }
 
 // Stop halts the daemon, the detector and the crash watcher.
@@ -393,7 +444,7 @@ func (s *Scheduler) kick() {
 	if s.stopped || s.remaining == 0 {
 		return
 	}
-	s.cfg.Sim.Spawn("metasched-kick", func(p *simcore.Proc) { s.round(p) })
+	s.cfg.Sim.Spawn(s.comp+"-kick", func(p *simcore.Proc) { s.round(p) })
 }
 
 // avail builds the shared availability view for one round from a single NWS
@@ -433,9 +484,9 @@ func (s *Scheduler) round(p *simcore.Proc) {
 		s.brownouts++
 		s.cfg.Sim.Tracef("metasched: brownout, %d nodes suspected — admission round shed", s.det.SuspectedCount())
 		if tel := s.cfg.Sim.Telemetry(); tel != nil {
-			tel.Counter("metasched", "brownouts").Inc()
+			tel.Counter(s.comp, "brownouts").Inc()
 			tel.Emit(telemetry.Event{
-				Type: telemetry.EvSchedBrownout, Comp: "metasched",
+				Type: telemetry.EvSchedBrownout, Comp: s.comp,
 				Args: []telemetry.Arg{telemetry.I("suspected", s.det.SuspectedCount())},
 			})
 		}
@@ -455,9 +506,9 @@ func (s *Scheduler) round(p *simcore.Proc) {
 	}
 	s.pricer.Observe(demand, len(free))
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Gauge("metasched", "queue_depth").Set(float64(len(s.queued)))
-		tel.Gauge("metasched", "free_nodes").Set(float64(len(free)))
-		tel.Gauge("metasched", "spot_price").Set(s.pricer.Price())
+		tel.Gauge(s.comp, "queue_depth").Set(float64(len(s.queued)))
+		tel.Gauge(s.comp, "free_nodes").Set(float64(len(free)))
+		tel.Gauge(s.comp, "spot_price").Set(s.pricer.Price())
 	}
 	prio := func(j *Job) float64 { return s.pricer.EffectivePriority(j.Spec.Bid) }
 
@@ -563,10 +614,10 @@ func (s *Scheduler) admit(p *simcore.Proc, job *Job, nodes []*topology.Node) boo
 	s.dequeue(job)
 	s.admissions++
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Counter("metasched", "admissions").Inc()
-		tel.Histogram("metasched", "wait_seconds").Observe(now - job.enqueuedAt)
+		tel.Counter(s.comp, "admissions").Inc()
+		tel.Histogram(s.comp, "wait_seconds").Observe(now - job.enqueuedAt)
 		tel.Emit(telemetry.Event{
-			Type: telemetry.EvJobAdmit, Comp: "metasched", Name: job.Spec.Name,
+			Type: telemetry.EvJobAdmit, Comp: s.comp, Name: job.Spec.Name,
 			Args: []telemetry.Arg{
 				telemetry.I("nodes", len(nodes)),
 				telemetry.F("wait", now-job.enqueuedAt),
@@ -627,7 +678,7 @@ func (s *Scheduler) jobPool(job *Job) []*topology.Node {
 			job.preemptions++
 			s.preemptApplied++
 			if tel := s.cfg.Sim.Telemetry(); tel != nil {
-				tel.Counter("metasched", "preempt_applied").Inc()
+				tel.Counter(s.comp, "preempt_applied").Inc()
 			}
 			s.kick() // re-broker the freed nodes now, not at the next tick
 		}
@@ -664,7 +715,7 @@ func (s *Scheduler) requeue(job *Job, rep *appmgr.Report) {
 	job.enqueuedAt = s.cfg.Sim.Now()
 	s.queued = append(s.queued, job)
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Counter("metasched", "requeues").Inc()
+		tel.Counter(s.comp, "requeues").Inc()
 	}
 }
 
@@ -679,14 +730,17 @@ func (s *Scheduler) quarantine(job *Job) {
 	s.quarantined++
 	s.cfg.Sim.Tracef("metasched: quarantined poison job %s (%d requeues)", job.Spec.Name, job.requeues)
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Counter("metasched", "quarantines").Inc()
+		tel.Counter(s.comp, "quarantines").Inc()
 		tel.Emit(telemetry.Event{
-			Type: telemetry.EvJobQuarantine, Comp: "metasched", Name: job.Spec.Name,
+			Type: telemetry.EvJobQuarantine, Comp: s.comp, Name: job.Spec.Name,
 			Args: []telemetry.Arg{telemetry.I("requeues", job.requeues)},
 		})
 	}
 	s.remaining--
-	if s.remaining == 0 && s.cfg.OnIdle != nil {
+	if s.cfg.OnJobDone != nil {
+		s.cfg.OnJobDone(job)
+	}
+	if s.remaining == 0 && !s.cfg.HoldOpen && s.cfg.OnIdle != nil {
 		s.cfg.OnIdle()
 	}
 }
@@ -708,9 +762,9 @@ func (s *Scheduler) finish(job *Job, rep *appmgr.Report, err error) {
 		job.state = JobDone
 	}
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Histogram("metasched", "turnaround_seconds").Observe(now - job.submitAt)
+		tel.Histogram(s.comp, "turnaround_seconds").Observe(now - job.submitAt)
 		tel.Emit(telemetry.Event{
-			Type: telemetry.EvJobDone, Comp: "metasched", Name: job.Spec.Name,
+			Type: telemetry.EvJobDone, Comp: s.comp, Name: job.Spec.Name,
 			Args: []telemetry.Arg{
 				telemetry.B("ok", err == nil),
 				telemetry.F("turnaround", now-job.submitAt),
@@ -719,7 +773,10 @@ func (s *Scheduler) finish(job *Job, rep *appmgr.Report, err error) {
 		})
 	}
 	s.remaining--
-	if s.remaining == 0 && s.cfg.OnIdle != nil {
+	if s.cfg.OnJobDone != nil {
+		s.cfg.OnJobDone(job)
+	}
+	if s.remaining == 0 && !s.cfg.HoldOpen && s.cfg.OnIdle != nil {
 		s.cfg.OnIdle()
 	}
 }
@@ -776,9 +833,9 @@ func (s *Scheduler) orderShrink(victim *Job, keep []*topology.Node, beneficiary 
 	}
 	victim.rss.RequestStop(expected)
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Counter("metasched", "preempt_orders").Inc()
+		tel.Counter(s.comp, "preempt_orders").Inc()
 		tel.Emit(telemetry.Event{
-			Type: telemetry.EvJobPreempt, Comp: "metasched", Name: victim.Spec.Name,
+			Type: telemetry.EvJobPreempt, Comp: s.comp, Name: victim.Spec.Name,
 			Args: []telemetry.Arg{
 				telemetry.S("for", beneficiary),
 				telemetry.I("keep", len(keep)),
@@ -813,7 +870,7 @@ func (s *Scheduler) ReportViolation(name string) bool {
 	}
 	s.violations++
 	if tel := s.cfg.Sim.Telemetry(); tel != nil {
-		tel.Counter("metasched", "contract_violations").Inc()
+		tel.Counter(s.comp, "contract_violations").Inc()
 	}
 	s.orderShrink(job, plan.Keep, "contract")
 	return true

@@ -10,6 +10,7 @@ import (
 	"grads/internal/gis"
 	"grads/internal/ibp"
 	"grads/internal/simcore"
+	"grads/internal/telemetry"
 	"grads/internal/topology"
 )
 
@@ -381,4 +382,111 @@ func mustSubmit(t *testing.T, s *Scheduler, spec JobSpec) *Job {
 		t.Fatalf("submit %s: %v", spec.Name, err)
 	}
 	return j
+}
+
+// TestHoldOpenOpenLoopIntake: a HoldOpen broker survives a lull in which
+// every submitted job has already finished, accepts a later submission at
+// its own arrival instant (the open-loop front-door pattern), and fires
+// OnIdle exactly once — after CloseIntake, when the queue drains. OnJobDone
+// observes every terminal job in completion order.
+func TestHoldOpenOpenLoopIntake(t *testing.T) {
+	r := newRig(5)
+	cfg := r.config(PolicyBackfill)
+	cfg.HoldOpen = true
+	var done []string
+	idles := 0
+	cfg.OnJobDone = func(j *Job) { done = append(done, j.Spec.Name) }
+	cfg.OnIdle = func() { idles++ }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	mustSubmit(t, s, farmSpec("early", 0, 4, 4, 1, 2, 100))
+	s.Start()
+	r.sim.At(30000, func() {
+		if s.Remaining() != 0 {
+			t.Errorf("early job still unfinished at t=30000")
+		}
+		if idles != 0 {
+			t.Errorf("OnIdle fired while intake was still open")
+		}
+		mustSubmit(t, s, farmSpec("late", 30000, 4, 4, 1, 2, 100))
+		s.CloseIntake()
+	})
+	r.sim.RunUntil(100000)
+
+	for _, j := range s.Jobs() {
+		if j.State() != JobDone {
+			t.Fatalf("job %s state %v (err %v)", j.Spec.Name, j.State(), j.Err())
+		}
+	}
+	if idles != 1 {
+		t.Fatalf("OnIdle fired %d times, want 1", idles)
+	}
+	if len(done) != 2 || done[0] != "early" || done[1] != "late" {
+		t.Fatalf("OnJobDone order = %v, want [early late]", done)
+	}
+	sub, start, fin := s.Jobs()[1].Times()
+	if sub != 30000 || start < sub || fin <= start {
+		t.Fatalf("late job times submit=%g start=%g finish=%g", sub, start, fin)
+	}
+}
+
+// TestCloseIntakeAfterDrain: closing intake on an already-drained HoldOpen
+// broker fires OnIdle immediately; a second close is a no-op.
+func TestCloseIntakeAfterDrain(t *testing.T) {
+	r := newRig(6)
+	cfg := r.config(PolicyFIFO)
+	cfg.HoldOpen = true
+	idles := 0
+	cfg.OnIdle = func() { idles++ }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	mustSubmit(t, s, farmSpec("only", 0, 4, 4, 1, 2, 100))
+	s.Start()
+	r.sim.RunUntil(30000)
+	if got := s.Jobs()[0].State(); got != JobDone {
+		t.Fatalf("job state %v, want done", got)
+	}
+	if idles != 0 {
+		t.Fatalf("OnIdle fired %d times before CloseIntake, want 0", idles)
+	}
+	s.CloseIntake()
+	if idles != 1 {
+		t.Fatalf("OnIdle fired %d times after CloseIntake, want 1", idles)
+	}
+	s.CloseIntake()
+	if idles != 1 {
+		t.Fatalf("second CloseIntake fired OnIdle again (%d)", idles)
+	}
+}
+
+// TestNamedBrokerTelemetry: a named broker publishes its scheduler metrics
+// under "metasched:<name>", leaving the bare component untouched, so a
+// multi-broker fleet's gauges stay distinct.
+func TestNamedBrokerTelemetry(t *testing.T) {
+	r := newRig(7)
+	tel := telemetry.New()
+	r.sim.SetTelemetry(tel)
+	cfg := r.config(PolicyFIFO)
+	cfg.Name = "east"
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	mustSubmit(t, s, farmSpec("job", 0, 4, 4, 1, 2, 100))
+	s.Start()
+	r.sim.RunUntil(30000)
+
+	if got := tel.Counter("metasched:east", "submissions").Value(); got != 1 {
+		t.Fatalf("namespaced submissions = %d, want 1", got)
+	}
+	if got := tel.Counter("metasched:east", "admissions").Value(); got == 0 {
+		t.Fatal("namespaced admissions counter empty")
+	}
+	if got := tel.Counter("metasched", "submissions").Value(); got != 0 {
+		t.Fatalf("bare metasched submissions = %d, want 0", got)
+	}
 }

@@ -92,6 +92,13 @@ const (
 	EvLeaseGrant   EventType = "lease.grant"
 	EvLeaseRelease EventType = "lease.release"
 	EvLeaseReclaim EventType = "lease.reclaim"
+
+	// Front-door request plane (frontdoor): one request routed to a
+	// broker, one shed by the QoS engine, and one reaching a terminal
+	// state.
+	EvReqRoute EventType = "req.route"
+	EvReqDrop  EventType = "req.drop"
+	EvReqDone  EventType = "req.done"
 )
 
 // Arg is one ordered key/value attachment on an event. Values should be

@@ -228,6 +228,75 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Quantiles estimates several quantiles in one pass over the buckets (one
+// lock, one bucket sort), returning the estimates in the order the qs were
+// given. It is the batch form of Quantile for report tables that read
+// p50/p95/p99 of the same histogram; each estimate carries the same
+// one-sub-bucket accuracy bound. With no observations every entry is 0.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil || len(qs) == 0 {
+		return out
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return out
+	}
+	// Rank of each requested quantile, then one cumulative walk over the
+	// sorted buckets answering every rank as it is crossed.
+	ranks := make([]uint64, len(qs))
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		r := uint64(math.Ceil(q * float64(h.count)))
+		if r == 0 {
+			r = 1
+		}
+		ranks[i] = r
+	}
+	order := make([]int, len(qs)) // positions sorted by ascending rank
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ranks[order[a]] < ranks[order[b]] })
+	idxs := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	cum, next := h.under, 0
+	for next < len(order) && ranks[order[next]] <= cum {
+		out[order[next]] = h.min // rank lands in the underflow bucket
+		next++
+	}
+	for _, bi := range idxs {
+		if next == len(order) {
+			break
+		}
+		cum += h.buckets[bi]
+		for next < len(order) && ranks[order[next]] <= cum {
+			v := bucketUpper(bi)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			out[order[next]] = v
+			next++
+		}
+	}
+	for ; next < len(order); next++ {
+		out[order[next]] = h.max
+	}
+	return out
+}
+
 // Merge folds another histogram's samples into this one.
 func (h *Histogram) Merge(o *Histogram) {
 	if h == nil || o == nil {

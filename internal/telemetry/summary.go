@@ -8,7 +8,7 @@ import (
 
 // Summary renders every registered metric as an aligned text table, grouped
 // by component (components and metric names alphabetical, so the output is
-// stable run to run). Histograms report count, mean, p50/p90/p99 and max.
+// stable run to run). Histograms report count, mean, p50/p90/p95/p99 and max.
 func (t *Telemetry) Summary() string {
 	if t == nil {
 		return "(telemetry disabled)\n"
@@ -41,9 +41,10 @@ func (t *Telemetry) Summary() string {
 		sort.Strings(hists)
 		for _, m := range hists {
 			h := c.hists[m]
+			qs := h.Quantiles(0.5, 0.9, 0.95, 0.99)
 			rows = append(rows, row{name, m, "histogram", fmt.Sprintf(
-				"n=%d mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g",
-				h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())})
+				"n=%d mean=%.4g p50=%.4g p90=%.4g p95=%.4g p99=%.4g max=%.4g",
+				h.Count(), h.Mean(), qs[0], qs[1], qs[2], qs[3], h.Max())})
 		}
 	}
 	if len(rows) == 0 {

@@ -3,8 +3,10 @@ package telemetry_test
 import (
 	"bytes"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"grads/internal/simcore"
@@ -87,6 +89,81 @@ func TestHistogramQuantiles(t *testing.T) {
 	// Quantiles never leave the observed range.
 	if q := h.Quantile(0); q < 1 || q > 1000 {
 		t.Errorf("q0 = %g outside [1,1000]", q)
+	}
+}
+
+// TestHistogramQuantileAccuracyBound sweeps heavy- and light-tailed seeded
+// distributions and requires p50/p95/p99 estimates within the documented
+// one-sub-bucket bound (2^-4 relative, with rounding slack: 7%) of the exact
+// empirical quantile, and the batch Quantiles readout identical to repeated
+// Quantile calls regardless of argument order.
+func TestHistogramQuantileAccuracyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := []struct {
+		name string
+		draw func() float64
+	}{
+		{"uniform", func() float64 { return 1 + rng.Float64()*999 }},
+		{"exponential", func() float64 { return rng.ExpFloat64() * 30 }},
+		{"lognormal", func() float64 { return math.Exp(rng.NormFloat64()*1.5 + 2) }},
+		{"bimodal", func() float64 {
+			if rng.Intn(10) == 0 {
+				return 5000 + rng.Float64()*1000
+			}
+			return 1 + rng.Float64()*10
+		}},
+	}
+	qs := []float64{0.5, 0.95, 0.99}
+	for _, d := range dists {
+		h := telemetry.New().Histogram("comp", d.name)
+		samples := make([]float64, 20000)
+		for i := range samples {
+			samples[i] = d.draw()
+			h.Observe(samples[i])
+		}
+		sort.Float64s(samples)
+		got := h.Quantiles(qs...)
+		for i, q := range qs {
+			rank := int(math.Ceil(q*float64(len(samples)))) - 1
+			exact := samples[rank]
+			if rel := math.Abs(got[i]-exact) / exact; rel > 0.07 {
+				t.Errorf("%s q%g = %g, want %g +/- 7%% (err %.2f%%)",
+					d.name, q, got[i], exact, rel*100)
+			}
+			if single := h.Quantile(q); single != got[i] {
+				t.Errorf("%s q%g: Quantiles=%g disagrees with Quantile=%g",
+					d.name, q, got[i], single)
+			}
+		}
+		// Batch answers must not depend on argument order.
+		rev := h.Quantiles(0.99, 0.5, 0.95)
+		if rev[0] != got[2] || rev[1] != got[0] || rev[2] != got[1] {
+			t.Errorf("%s: Quantiles order-sensitive: %v vs %v", d.name, got, rev)
+		}
+	}
+}
+
+// TestHistogramQuantilesEdge pins the batch readout's edge behaviour: nil
+// and empty receivers, underflow-bucket ranks, and out-of-range qs.
+func TestHistogramQuantilesEdge(t *testing.T) {
+	var nilH *telemetry.Histogram
+	if got := nilH.Quantiles(0.5, 0.99); got[0] != 0 || got[1] != 0 {
+		t.Errorf("nil Quantiles = %v", got)
+	}
+	empty := telemetry.New().Histogram("comp", "empty")
+	if got := empty.Quantiles(0.5); got[0] != 0 {
+		t.Errorf("empty Quantiles = %v", got)
+	}
+	h := telemetry.New().Histogram("comp", "under")
+	h.Observe(-3)
+	h.Observe(-1)
+	h.Observe(10)
+	got := h.Quantiles(-1, 0.3, 2)
+	if got[0] != -3 || got[1] != -3 {
+		t.Errorf("underflow ranks = %v, want min -3", got)
+	}
+	if got[2] < 9 || got[2] > 10 {
+		t.Errorf("q>1 clamps to max: got %g", got[2])
 	}
 }
 
