@@ -40,6 +40,14 @@
 //	                                         # schedule; combine with -trace-jsonl
 //	                                         # to capture the fault timeline
 //
+// List scheduling (see the README "List-scheduling engine" section):
+//
+//	gradsim -exp dagzoo                      # heuristic x rescheduling-policy
+//	                                         # leaderboard over the DAG zoo
+//	gradsim -zoo 'fanout:width=24,ccr=4' -heuristic heft
+//	                                         # schedule an explicit zoo spec
+//	                                         # with one heuristic
+//
 // Serving (see the README "Front door / serving" section):
 //
 //	gradsim -exp serve                       # arrival-rate x routing-policy sweep
@@ -76,6 +84,9 @@ func main() {
 	arrivals := flag.String("arrivals", "", "serve an explicit request workload through the front door "+
 		"(phases 'kind@start-end:param,...' joined by ';', e.g. 'poisson@0-600:rate=0.2;flash@0-600:rate=0,peak=0.5,at=300,hold=60,mix=int:1')")
 	route := flag.String("route", "ucb", "front-door routing policy for -arrivals (one of: rr, least, wrand, ucb, eps)")
+	zoo := flag.String("zoo", "", "schedule an explicit DAG-zoo spec with the -heuristic list scheduler "+
+		"(entries 'class[:key=value,...]' joined by ';', e.g. 'chain:n=16,ccr=0.5;fanout:width=24,ccr=4;eman')")
+	heuristic := flag.String("heuristic", "heft", "list-scheduling heuristic for -zoo (one of: heft, cpop, sufferage-list, min-min)")
 	flag.Parse()
 
 	if *list {
@@ -125,6 +136,8 @@ func main() {
 	var out string
 	var err error
 	switch {
+	case *zoo != "":
+		out, err = grads.RunZoo(*zoo, *heuristic)
 	case *arrivals != "":
 		out, err = grads.RunArrivals(*arrivals, *route)
 	case *jobs != "":

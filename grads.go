@@ -219,6 +219,41 @@ var registry = map[string]experiment{
 				experiments.FormatRankWeights(w), nil
 		},
 	},
+	"dagzoo": {
+		title: "extension — DAG-zoo leaderboard: list heuristics (HEFT/CPOP/sufferage-list/min-min) x rescheduling policy",
+		run: func() (string, error) {
+			cfg := experiments.DefaultDagZooConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			classes, err := experiments.RunDagZoo(cfg)
+			if err != nil {
+				return "", err
+			}
+			return "extension — DAG-zoo leaderboard: list-scheduling heuristics x\n" +
+				"rescheduling policy on the MacroGrid (every schedule passes the\n" +
+				"listsched validity harness; static = ride out a mid-run slowdown,\n" +
+				"remap = re-plan unstarted tasks around it)\n\n" +
+				experiments.FormatDagZoo(classes), nil
+		},
+		csv: func() (string, error) {
+			cfg := experiments.DefaultDagZooConfig()
+			cfg.Seed = seedOr(cfg.Seed)
+			classes, err := experiments.RunDagZoo(cfg)
+			if err != nil {
+				return "", err
+			}
+			return experiments.DagZooTable(classes).CSV(), nil
+		},
+	},
+	"dagzoo-smoke": {
+		title: "CI — compressed multi-seed dagzoo leaderboard (fails on any validity violation)",
+		run: func() (string, error) {
+			seeds := []int64{1, 2}
+			if s := seedOr(0); s != 0 {
+				seeds = []int64{s}
+			}
+			return experiments.RunDagZooSmoke(seeds)
+		},
+	},
 	"swap-policies": {
 		title: "§4.2 ablation — swapping policies on the Figure 4 scenario",
 		run: func() (string, error) {
@@ -509,6 +544,14 @@ func RunJobStream(stream string) (string, error) {
 	return "job stream — metascheduler broker on the QR testbed\n\n" +
 		"stream: " + metasched.FormatStream(entries) + "\n\n" +
 		experiments.JobStreamTable(recs).String(), nil
+}
+
+// RunZoo schedules an explicit DAG-zoo spec (the gradsim -zoo flag; see
+// listsched.ParseZoo for the grammar) with the named list-scheduling
+// heuristic (the -heuristic flag) on the MacroGrid and returns the per-DAG
+// makespan/SLR/utilization report.
+func RunZoo(spec, heuristic string) (string, error) {
+	return experiments.RunZoo(spec, heuristic, seedOr(0))
 }
 
 // RunArrivals realizes an explicit serving workload (the gradsim -arrivals

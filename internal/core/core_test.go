@@ -65,6 +65,111 @@ func TestAddBadDepPanics(t *testing.T) {
 	w.Add(&Component{Name: "x"}, 3)
 }
 
+func TestAddCheckedErrors(t *testing.T) {
+	// Each case builds a two-component prefix (indices 0, 1) and then tries
+	// to add index 2 with the given predecessor list.
+	cases := []struct {
+		name   string
+		deps   []int
+		reason string // "" = must succeed
+		dep    int
+	}{
+		{name: "ok-empty", deps: nil},
+		{name: "ok-both", deps: []int{0, 1}},
+		{name: "negative", deps: []int{-1}, reason: "out of range", dep: -1},
+		{name: "self", deps: []int{2}, reason: "self", dep: 2},
+		{name: "forward", deps: []int{3}, reason: "forward", dep: 3},
+		{name: "far-forward", deps: []int{1 << 20}, reason: "forward", dep: 1 << 20},
+		{name: "duplicate", deps: []int{1, 0, 1}, reason: "duplicate", dep: 1},
+		{name: "valid-then-bad", deps: []int{0, 5}, reason: "forward", dep: 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorkflow()
+			w.Add(&Component{Name: "a"})
+			w.Add(&Component{Name: "b"}, 0)
+			i, err := w.AddChecked(&Component{Name: "c"}, tc.deps...)
+			if tc.reason == "" {
+				if err != nil {
+					t.Fatalf("AddChecked(%v) = %v, want ok", tc.deps, err)
+				}
+				if i != 2 {
+					t.Fatalf("index = %d, want 2", i)
+				}
+				return
+			}
+			de, ok := err.(*DepError)
+			if !ok {
+				t.Fatalf("AddChecked(%v) error = %T %v, want *DepError", tc.deps, err, err)
+			}
+			if de.Comp != 2 || de.Dep != tc.dep || de.Reason != tc.reason {
+				t.Fatalf("DepError = %+v, want comp 2 dep %d %q", de, tc.dep, tc.reason)
+			}
+			if w.Len() != 2 {
+				t.Fatalf("failed AddChecked mutated the workflow: len %d", w.Len())
+			}
+			if de.Error() == "" {
+				t.Fatal("empty error string")
+			}
+		})
+	}
+}
+
+func TestWorkflowValidate(t *testing.T) {
+	ok := NewWorkflow()
+	a := ok.Add(&Component{Name: "a"})
+	ok.Add(&Component{Name: "b"}, a)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid workflow rejected: %v", err)
+	}
+
+	// Corrupt the edge lists the way a buggy deserializer could: Validate
+	// must catch cycles (mutual and self) and dangling indices that Add can
+	// never produce.
+	cases := []struct {
+		name   string
+		deps   [][]int
+		reason string
+	}{
+		{name: "self-cycle", deps: [][]int{{0}}, reason: "self"},
+		{name: "two-cycle", deps: [][]int{{1}, {0}}, reason: "forward"},
+		{name: "dangling", deps: [][]int{nil, {7}}, reason: "forward"},
+		{name: "negative", deps: [][]int{nil, {-2}}, reason: "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWorkflow()
+			for range tc.deps {
+				w.Add(&Component{Name: "t"})
+			}
+			w.deps = tc.deps
+			err := w.Validate()
+			de, ok := err.(*DepError)
+			if !ok {
+				t.Fatalf("Validate = %v, want *DepError", err)
+			}
+			if de.Reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", de.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+func TestWorkflowSuccs(t *testing.T) {
+	w := NewWorkflow()
+	a := w.Add(&Component{Name: "a"})
+	b := w.Add(&Component{Name: "b"}, a)
+	c := w.Add(&Component{Name: "c"}, a)
+	d := w.Add(&Component{Name: "d"}, b, c)
+	succs := w.Succs()
+	if len(succs[a]) != 2 || succs[a][0] != b || succs[a][1] != c {
+		t.Fatalf("succs[a] = %v", succs[a])
+	}
+	if len(succs[b]) != 1 || succs[b][0] != d || len(succs[d]) != 0 {
+		t.Fatalf("succs = %v", succs)
+	}
+}
+
 func TestScheduleChainPrefersFastNodes(t *testing.T) {
 	g := twoSiteGrid(t)
 	s := NewScheduler(g, nil)

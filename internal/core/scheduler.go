@@ -98,6 +98,27 @@ func (s *Scheduler) transferTime(a, b *topology.Node, bytes float64) float64 {
 	return s.Grid.TransferTimeEstimate(a, b, bytes)
 }
 
+// ECost exposes the execution-cost half of the rank function — the expected
+// execution time of c on r under forecast load, memoized like Rank — for
+// engines built over the same cost model (internal/listsched).
+func (s *Scheduler) ECost(c *Component, r *topology.Node) float64 { return s.ecost(c, r) }
+
+// DCost exposes the data-movement half of the rank function: the cost of
+// staging component ci's inputs to r given the partial schedule.
+func (s *Scheduler) DCost(w *Workflow, ci int, r *topology.Node, assigned []Assignment) float64 {
+	return s.dcostFrom(w, w.Components[ci], ci, r, assigned)
+}
+
+// TransferTime exposes the memoized point-to-point transfer estimate the
+// data costs are built from.
+func (s *Scheduler) TransferTime(a, b *topology.Node, bytes float64) float64 {
+	return s.transferTime(a, b, bytes)
+}
+
+// Eligible reports whether a resource meets a component's minimum
+// requirements (§3.1: failing resources get rank infinity).
+func Eligible(c *Component, r *topology.Node) bool { return eligible(c, r) }
+
 // eligible reports whether a resource meets a component's minimum
 // requirements (§3.1: failing resources get rank infinity).
 func eligible(c *Component, r *topology.Node) bool {

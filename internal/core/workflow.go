@@ -57,25 +57,96 @@ type Workflow struct {
 // NewWorkflow creates an empty workflow.
 func NewWorkflow() *Workflow { return &Workflow{} }
 
-// Add appends a component with the given predecessor indices and returns
-// its index. Predecessors must already exist (which keeps the graph
-// acyclic by construction).
-func (w *Workflow) Add(c *Component, deps ...int) int {
+// DepError reports an invalid dependency edge: a predecessor index that is
+// out of range (including forward and self references, which would make the
+// DAG cyclic or dangling), a duplicate edge, or an edge participating in a
+// cycle.
+type DepError struct {
+	Comp   int    // index of the component whose edge is invalid
+	Dep    int    // the offending predecessor index (-1 for cycles)
+	Reason string // "out of range", "self", "forward", "duplicate", "cycle"
+}
+
+func (e *DepError) Error() string {
+	if e.Dep < 0 {
+		return fmt.Sprintf("core: component %d: dependency %s", e.Comp, e.Reason)
+	}
+	return fmt.Sprintf("core: component %d: dependency %d %s", e.Comp, e.Dep, e.Reason)
+}
+
+// checkDeps validates the predecessor list of the component about to become
+// index next.
+func checkDeps(next int, deps []int) *DepError {
+	seen := make(map[int]bool, len(deps))
 	for _, d := range deps {
-		if d < 0 || d >= len(w.Components) {
-			panic(fmt.Sprintf("core: dependency %d out of range", d))
+		switch {
+		case d == next:
+			return &DepError{Comp: next, Dep: d, Reason: "self"}
+		case d > next:
+			return &DepError{Comp: next, Dep: d, Reason: "forward"}
+		case d < 0:
+			return &DepError{Comp: next, Dep: d, Reason: "out of range"}
+		case seen[d]:
+			return &DepError{Comp: next, Dep: d, Reason: "duplicate"}
 		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// AddChecked appends a component with the given predecessor indices and
+// returns its index. Predecessors must already exist — self, forward,
+// negative and duplicate indices are rejected with a *DepError — which keeps
+// the graph acyclic by construction.
+func (w *Workflow) AddChecked(c *Component, deps ...int) (int, error) {
+	if err := checkDeps(len(w.Components), deps); err != nil {
+		return 0, err
 	}
 	if c.SubOf == 0 {
 		c.SubOf = -1
 	}
 	w.Components = append(w.Components, c)
 	w.deps = append(w.deps, append([]int(nil), deps...))
-	return len(w.Components) - 1
+	return len(w.Components) - 1, nil
+}
+
+// Add is AddChecked for programmatic construction: invalid predecessor
+// indices are a caller bug and panic with the same *DepError.
+func (w *Workflow) Add(c *Component, deps ...int) int {
+	i, err := w.AddChecked(c, deps...)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// Validate re-checks the whole dependency structure: every edge in range
+// with no self/forward/duplicate references (the invariant Add enforces),
+// which in particular proves the graph acyclic. It exists for workflows
+// whose edges arrive from outside Add — deserialized or generated specs.
+func (w *Workflow) Validate() error {
+	for i := range w.Components {
+		if err := checkDeps(i, w.deps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Deps returns the predecessor indices of component i.
 func (w *Workflow) Deps(i int) []int { return w.deps[i] }
+
+// Succs returns the successor adjacency: succs[i] lists the components that
+// depend on i, in increasing index order.
+func (w *Workflow) Succs() [][]int {
+	succs := make([][]int, w.Len())
+	for i := range w.Components {
+		for _, d := range w.deps[i] {
+			succs[d] = append(succs[d], i)
+		}
+	}
+	return succs
+}
 
 // Len returns the number of components.
 func (w *Workflow) Len() int { return len(w.Components) }

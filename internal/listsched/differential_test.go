@@ -1,0 +1,132 @@
+package listsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"grads/internal/core"
+)
+
+// TestSerialLowerBound: on a single-node grid every transfer costs zero, so
+// any work-conserving schedule is serial and its makespan must equal the
+// critical-path lower bound — the summed execution cost of all tasks —
+// with a gapless timeline.
+func TestSerialLowerBound(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := soloGrid(t, seed)
+		resources := g.Nodes()
+		node := resources[0]
+		for _, z := range specs {
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := 0.0
+			for _, c := range w.Components {
+				want += s.ECost(c, node)
+			}
+			for _, name := range Names() {
+				h, _ := New(name)
+				res, err := h.Schedule(NewContext(s, w, resources))
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				if math.Abs(res.Makespan-want) > 1e-9*want {
+					t.Errorf("seed %d %s %s: makespan %v != serial lower bound %v",
+						seed, z, name, res.Makespan, want)
+				}
+				tl := res.Timelines[0]
+				if math.Abs(tl.Busy()-tl.End()) > 1e-9*want {
+					t.Errorf("seed %d %s %s: timeline has gaps: busy %v, end %v",
+						seed, z, name, tl.Busy(), tl.End())
+				}
+			}
+		}
+	}
+}
+
+// TestMinMinAdapterMatchesCore: the engine's min-min adapter must reproduce
+// core.Scheduler.ScheduleWith(core.MinMin) exactly — same node pointers and
+// bit-identical start/finish floats — on a shared heterogeneous grid, for
+// every zoo class. This pins the engine's cost primitives, ready ordering,
+// and tie-breaking to the paper scheduler's.
+func TestMinMinAdapterMatchesCore(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		for _, z := range specs {
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := s.ScheduleWith(core.MinMin, w, resources)
+			if err != nil {
+				t.Fatalf("seed %d %s: core: %v", seed, z, err)
+			}
+			h, _ := New(MinMinAdapter)
+			res, err := h.Schedule(NewContext(s, w, resources))
+			if err != nil {
+				t.Fatalf("seed %d %s: engine: %v", seed, z, err)
+			}
+			if res.Makespan != ref.Makespan {
+				t.Fatalf("seed %d %s: makespan %v != core %v", seed, z, res.Makespan, ref.Makespan)
+			}
+			for i := range ref.Assignments {
+				a, b := res.Assignments[i], ref.Assignments[i]
+				if a.Node != b.Node || a.Start != b.Start || a.Finish != b.Finish {
+					t.Fatalf("seed %d %s: component %d engine {%s %v %v} != core {%s %v %v}",
+						seed, z, i, a.Node.Name(), a.Start, a.Finish, b.Node.Name(), b.Start, b.Finish)
+				}
+			}
+		}
+	}
+}
+
+// TestHEFTNeverWorseSerial: on the heterogeneous grid HEFT's makespan never
+// exceeds running everything serially on the single fastest node (HEFT
+// considers that placement among its candidates task by task).
+func TestHEFTNeverWorseSerial(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		for _, z := range specs {
+			if z.Class == ZooEMAN {
+				continue // arch constraints force cross-node hops
+			}
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bestSerial := math.Inf(1)
+			for _, r := range resources {
+				sum, ok := 0.0, true
+				for _, c := range w.Components {
+					if !core.Eligible(c, r) {
+						ok = false
+						break
+					}
+					sum += s.ECost(c, r)
+				}
+				if ok && sum < bestSerial {
+					bestSerial = sum
+				}
+			}
+			h, _ := New(HEFT)
+			res, err := h.Schedule(NewContext(s, w, resources))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Makespan > bestSerial*(1+1e-9) {
+				t.Errorf("seed %d %s: HEFT makespan %v worse than serial-fastest %v",
+					seed, z, res.Makespan, bestSerial)
+			}
+		}
+	}
+}

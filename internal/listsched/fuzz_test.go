@@ -1,0 +1,58 @@
+package listsched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseZoo checks the parser/formatter contract on arbitrary input:
+// whenever a spec parses, formatting it must yield a canonical string that
+// reparses to the identical value (lossless round trip), and the canonical
+// string must be a fixed point of Parse∘Format.
+func FuzzParseZoo(f *testing.F) {
+	seeds := []string{
+		"chain",
+		"chain:n=16,ccr=0.5",
+		"fanout:width=24,ccr=1",
+		"diamond:width=6,layers=4,ccr=1",
+		"layered:layers=4,width=8,fanin=3,ccr=1",
+		"eman:n=400,width=8",
+		"chain:ccr=0.125;fanout;eman",
+		"chain:n=1;chain:n=4096",
+		"layered:ccr=1024",
+		" chain ; fanout:width=2 ",
+		"chain:n=2,n=3",
+		"ring:n=4",
+		"chain:ccr=-1",
+		"chain:n=1e3",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		specs, err := ParseZoo(spec)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		if len(specs) == 0 {
+			t.Fatalf("ParseZoo(%q) returned no specs without error", spec)
+		}
+		canon := FormatZoo(specs)
+		re, err := ParseZoo(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(specs, re) {
+			t.Fatalf("round trip of %q: %+v != %+v (via %q)", spec, specs, re, canon)
+		}
+		if again := FormatZoo(re); again != canon {
+			t.Fatalf("canonical form of %q is not a fixed point: %q != %q", spec, again, canon)
+		}
+		for _, z := range specs {
+			if z.Tasks() <= 0 {
+				t.Fatalf("parsed spec %s has non-positive task count %d", z, z.Tasks())
+			}
+		}
+	})
+}

@@ -1,0 +1,50 @@
+package listsched
+
+import (
+	"testing"
+
+	"grads/internal/core"
+	"grads/internal/simcore"
+	"grads/internal/topology"
+)
+
+// testGrid is a small heterogeneous testbed: a fast IA32 site and a slow
+// mixed site, so every zoo class (including EMAN's arch/memory constraints)
+// has multiple but not uniformly eligible resources.
+func testGrid(tb testing.TB, seed int64) (*topology.Grid, *core.Scheduler) {
+	tb.Helper()
+	sim := simcore.New(seed)
+	g := topology.NewGrid(sim)
+	g.AddSite("A", 1e8, 1e-4)
+	g.AddSite("B", 1e7, 5e-4)
+	g.Connect("A", "B", 1.25e6, 0.03)
+	g.AddNode(topology.NodeSpec{Name: "a1", Site: "A", Arch: topology.ArchIA32, MHz: 2000, FlopsPerCycle: 1, MemMB: 2048})
+	g.AddNode(topology.NodeSpec{Name: "a2", Site: "A", Arch: topology.ArchIA32, MHz: 1500, FlopsPerCycle: 1, MemMB: 1024})
+	g.AddNode(topology.NodeSpec{Name: "b1", Site: "B", Arch: topology.ArchIA64, MHz: 800, FlopsPerCycle: 2, MemMB: 2048})
+	g.AddNode(topology.NodeSpec{Name: "b2", Site: "B", Arch: topology.ArchIA32, MHz: 400, FlopsPerCycle: 1, MemMB: 512})
+	return g, core.NewScheduler(g, nil)
+}
+
+// soloGrid is a single-node testbed where every transfer costs zero — the
+// serial lower-bound fixture.
+func soloGrid(tb testing.TB, seed int64) (*topology.Grid, *core.Scheduler) {
+	tb.Helper()
+	sim := simcore.New(seed)
+	g := topology.NewGrid(sim)
+	g.AddSite("A", 1e8, 1e-4)
+	g.AddNode(topology.NodeSpec{Name: "solo", Site: "A", Arch: topology.ArchIA32, MHz: 1000, FlopsPerCycle: 1, MemMB: 2048})
+	return g, core.NewScheduler(g, nil)
+}
+
+// zooSuite is the DAG set the property tests sweep: every class, sized for
+// test speed.
+const zooSuite = "chain:n=10;fanout:width=8;diamond:width=4,layers=2;layered:layers=3,width=5;eman:n=200,width=4"
+
+func parseSuite(tb testing.TB) []ZooSpec {
+	tb.Helper()
+	specs, err := ParseZoo(zooSuite)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return specs
+}

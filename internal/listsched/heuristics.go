@@ -1,0 +1,366 @@
+package listsched
+
+import (
+	"fmt"
+	"math"
+
+	"grads/internal/core"
+	"grads/internal/topology"
+)
+
+// schedState is the shared mutable state of one engine run: finish times
+// and nodes per component (fixed placements pre-filled) and the assignment
+// array handed to the data-cost primitives.
+type schedState struct {
+	ctx    *Context
+	assign []core.Assignment
+	nodes  []*topology.Node
+	finish []float64
+	done   []bool
+	left   int
+}
+
+func newSchedState(ctx *Context) *schedState {
+	n := ctx.W.Len()
+	st := &schedState{
+		ctx:    ctx,
+		assign: make([]core.Assignment, n),
+		nodes:  make([]*topology.Node, n),
+		finish: make([]float64, n),
+		done:   make([]bool, n),
+		left:   0,
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Done[i] {
+			st.assign[i] = ctx.Assign[i]
+			st.nodes[i] = ctx.Assign[i].Node
+			st.finish[i] = ctx.Assign[i].Finish
+			st.done[i] = true
+		} else {
+			st.left++
+		}
+	}
+	return st
+}
+
+// place commits component ci to resource index k at [start, start+dur).
+func (st *schedState) place(ci, k int, start, dur float64) error {
+	if err := st.ctx.Timelines[k].Insert(start, dur, SlotLabel(ci)); err != nil {
+		return err
+	}
+	r := st.ctx.Resources[k]
+	st.assign[ci] = core.Assignment{Node: r, Start: start, Finish: start + dur}
+	st.nodes[ci] = r
+	st.finish[ci] = start + dur
+	st.done[ci] = true
+	st.left--
+	return nil
+}
+
+// result wraps up the run.
+func (st *schedState) result(name string, commInStart bool) *Result {
+	makespan := 0.0
+	for _, a := range st.assign {
+		if a.Finish > makespan {
+			makespan = a.Finish
+		}
+	}
+	st.ctx.emitDecision(name, makespan, st.ctx.W.Len())
+	return &Result{
+		Heuristic:   name,
+		Makespan:    makespan,
+		Assignments: st.assign,
+		Timelines:   st.ctx.Timelines,
+		CommInStart: commInStart,
+	}
+}
+
+// eftPlace finds the earliest-finish-time placement of ci over all eligible
+// resources using gap insertion, and commits it. The first resource (in
+// context order) achieving the minimum finish wins ties.
+func (st *schedState) eftPlace(ci int) error {
+	ctx := st.ctx
+	bestK, bestStart, bestDur, bestEFT := -1, 0.0, 0.0, math.Inf(1)
+	for k, r := range ctx.Resources {
+		if !core.Eligible(ctx.W.Components[ci], r) {
+			continue
+		}
+		ready := ctx.readyBound(ci, r, st.finish, st.nodes, true)
+		dur := ctx.ExecCost(ci, r)
+		start := ctx.Timelines[k].EarliestFit(ready, dur)
+		if eft := start + dur; eft < bestEFT {
+			bestK, bestStart, bestDur, bestEFT = k, start, dur, eft
+		}
+	}
+	if bestK < 0 {
+		return fmt.Errorf("listsched: component %q has no eligible resource", ctx.W.Components[ci].Name)
+	}
+	return st.place(ci, bestK, bestStart, bestDur)
+}
+
+// readyList returns the unscheduled components whose predecessors are all
+// scheduled, in increasing index order.
+func (st *schedState) readyList() []int {
+	var ready []int
+	for i := range st.done {
+		if st.done[i] {
+			continue
+		}
+		ok := true
+		for _, d := range st.ctx.W.Deps(i) {
+			if !st.done[d] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, i)
+		}
+	}
+	return ready
+}
+
+// heft is the classic HEFT list scheduler: tasks in decreasing upward-rank
+// order, each placed at its earliest finish time with gap insertion.
+type heft struct{}
+
+func (heft) Name() string { return HEFT }
+
+func (heft) Schedule(ctx *Context) (*Result, error) {
+	st := newSchedState(ctx)
+	ranks := UpwardRanks(ctx)
+	order := make([]int, 0, st.left)
+	for i := range st.done {
+		if !st.done[i] {
+			order = append(order, i)
+		}
+	}
+	// Decreasing rank, index ascending on ties. Upward ranks are monotone
+	// along edges, so this order is topological; the index tie-break keeps
+	// zero-cost chains (rank(pred) == rank(succ)) in dependency order too.
+	sortBy(order, func(a, b int) bool {
+		if ranks[a] != ranks[b] {
+			return ranks[a] > ranks[b]
+		}
+		return a < b
+	})
+	for _, ci := range order {
+		if err := st.eftPlace(ci); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(HEFT, true), nil
+}
+
+// cpop is critical-path-on-a-processor: priorities are rank_u + rank_d, the
+// critical path is pinned to the single processor minimizing its total
+// execution time, and everything else is EFT-placed in priority order.
+type cpop struct{}
+
+func (cpop) Name() string { return CPOP }
+
+func (cpop) Schedule(ctx *Context) (*Result, error) {
+	st := newSchedState(ctx)
+	up, down := UpwardRanks(ctx), DownwardRanks(ctx)
+	n := ctx.W.Len()
+	prio := make([]float64, n)
+	for i := range prio {
+		prio[i] = up[i] + down[i]
+	}
+
+	// Walk the critical path: start from the entry component with the
+	// highest priority, follow the successor with the highest priority.
+	onCP := make([]bool, n)
+	cp := []int{}
+	entry := -1
+	for i := 0; i < n; i++ {
+		if len(ctx.W.Deps(i)) == 0 && (entry < 0 || prio[i] > prio[entry]) {
+			entry = i
+		}
+	}
+	succs := ctx.W.Succs()
+	for at := entry; at >= 0; {
+		onCP[at] = true
+		cp = append(cp, at)
+		next := -1
+		for _, j := range succs[at] {
+			if next < 0 || prio[j] > prio[next] {
+				next = j
+			}
+		}
+		at = next
+	}
+
+	// The CP processor minimizes the summed execution of the whole path; it
+	// must be eligible for every CP task, else fall back to pure EFT.
+	cpNode := -1
+	bestSum := math.Inf(1)
+	for k, r := range ctx.Resources {
+		sum, ok := 0.0, true
+		for _, ci := range cp {
+			if !core.Eligible(ctx.W.Components[ci], r) {
+				ok = false
+				break
+			}
+			sum += ctx.ExecCost(ci, r)
+		}
+		if ok && sum < bestSum {
+			cpNode, bestSum = k, sum
+		}
+	}
+
+	for st.left > 0 {
+		ready := st.readyList()
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("listsched: workflow has a dependency cycle")
+		}
+		pick := ready[0]
+		for _, ci := range ready[1:] {
+			if prio[ci] > prio[pick] {
+				pick = ci
+			}
+		}
+		if onCP[pick] && cpNode >= 0 {
+			r := ctx.Resources[cpNode]
+			rb := ctx.readyBound(pick, r, st.finish, st.nodes, true)
+			dur := ctx.ExecCost(pick, r)
+			start := ctx.Timelines[cpNode].EarliestFit(rb, dur)
+			if err := st.place(pick, cpNode, start, dur); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := st.eftPlace(pick); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(CPOP, true), nil
+}
+
+// sufferage is the list variant of the paper's sufferage heuristic: each
+// round, the ready task that would suffer most from losing its best
+// placement (largest best-vs-second-best EFT gap) is scheduled first, with
+// gap insertion on the timelines.
+type sufferage struct{}
+
+func (sufferage) Name() string { return SufferageList }
+
+func (sufferage) Schedule(ctx *Context) (*Result, error) {
+	st := newSchedState(ctx)
+	for st.left > 0 {
+		ready := st.readyList()
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("listsched: workflow has a dependency cycle")
+		}
+		type cand struct {
+			ci, k      int
+			start, dur float64
+			eft, snd   float64
+		}
+		best := cand{ci: -1, eft: math.Inf(1)}
+		bestSuff := math.Inf(-1)
+		for _, ci := range ready {
+			c := cand{ci: ci, k: -1, eft: math.Inf(1), snd: math.Inf(1)}
+			for k, r := range ctx.Resources {
+				if !core.Eligible(ctx.W.Components[ci], r) {
+					continue
+				}
+				rb := ctx.readyBound(ci, r, st.finish, st.nodes, true)
+				dur := ctx.ExecCost(ci, r)
+				start := ctx.Timelines[k].EarliestFit(rb, dur)
+				switch eft := start + dur; {
+				case eft < c.eft:
+					c.snd = c.eft
+					c.k, c.start, c.dur, c.eft = k, start, dur, eft
+				case eft < c.snd:
+					c.snd = eft
+				}
+			}
+			if c.k < 0 {
+				return nil, fmt.Errorf("listsched: component %q has no eligible resource", ctx.W.Components[ci].Name)
+			}
+			suff := c.snd - c.eft // +Inf when only one resource is eligible
+			if math.IsInf(c.snd, 1) {
+				suff = math.Inf(1)
+			}
+			if suff > bestSuff {
+				bestSuff, best = suff, c
+			}
+		}
+		if err := st.place(best.ci, best.k, best.start, best.dur); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(SufferageList, true), nil
+}
+
+// minmin adapts the GrADS min-min heuristic to the engine: ranks (execution
+// plus data cost) are charged as slot durations and placement appends at
+// the end of each timeline, reproducing core.Scheduler.ScheduleWith
+// (core.MinMin) assignment-for-assignment on a fresh context.
+type minmin struct{}
+
+func (minmin) Name() string { return MinMinAdapter }
+
+func (minmin) Schedule(ctx *Context) (*Result, error) {
+	st := newSchedState(ctx)
+	for st.left > 0 {
+		ready := st.readyList()
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("listsched: workflow has a dependency cycle")
+		}
+		type cand struct {
+			ci, k         int
+			start, finish float64
+		}
+		pick := cand{ci: -1, finish: math.Inf(1)}
+		for _, ci := range ready {
+			best := cand{ci: ci, k: -1, finish: math.Inf(1)}
+			for k, r := range ctx.Resources {
+				if !core.Eligible(ctx.W.Components[ci], r) {
+					continue
+				}
+				// Mirror core.Scheduler exactly: duration is the full rank
+				// (weighted execution + data cost), the start is the node's
+				// append point pushed by predecessor finishes, and strict
+				// comparisons keep the first minimum.
+				rank := ctx.S.W1*ctx.ExecCost(ci, r) + ctx.S.W2*ctx.S.DCost(ctx.W, ci, r, st.assign)
+				if math.IsInf(rank, 1) {
+					continue
+				}
+				start := ctx.Timelines[k].End()
+				for _, d := range ctx.W.Deps(ci) {
+					if st.assign[d].Finish > start {
+						start = st.assign[d].Finish
+					}
+				}
+				if start < ctx.NotBefore {
+					start = ctx.NotBefore
+				}
+				if finish := start + rank; finish < best.finish {
+					best.k, best.start, best.finish = k, start, finish
+				}
+			}
+			if best.k < 0 {
+				return nil, fmt.Errorf("listsched: component %q has no eligible resource", ctx.W.Components[ci].Name)
+			}
+			if best.finish < pick.finish {
+				pick = best
+			}
+		}
+		if err := st.place(pick.ci, pick.k, pick.start, pick.finish-pick.start); err != nil {
+			return nil, err
+		}
+	}
+	return st.result(MinMinAdapter, false), nil
+}
+
+// sortBy is an in-place insertion sort with an explicit strict less — the
+// engine's orders are tiny and must be deterministic and stable-by-index.
+func sortBy(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

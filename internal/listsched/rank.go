@@ -1,0 +1,103 @@
+package listsched
+
+import "grads/internal/core"
+
+// commModel derives the context's mean point-to-point transfer model — a
+// latency intercept plus a per-byte rate, averaged over all ordered node
+// pairs — the resource-independent communication estimate the rank
+// functions use (classic HEFT's "average transfer rate").
+func (c *Context) commModel() (lat, rate float64) {
+	if c.commReady {
+		return c.commLat, c.commRate
+	}
+	const b1, b2 = 1e6, 2e6
+	sum1, sum2, pairs := 0.0, 0.0, 0
+	for _, a := range c.Resources {
+		for _, b := range c.Resources {
+			if a == b {
+				continue
+			}
+			sum1 += c.S.TransferTime(a, b, b1)
+			sum2 += c.S.TransferTime(a, b, b2)
+			pairs++
+		}
+	}
+	if pairs > 0 {
+		t1, t2 := sum1/float64(pairs), sum2/float64(pairs)
+		c.commRate = (t2 - t1) / (b2 - b1)
+		c.commLat = t1 - c.commRate*b1
+		if c.commLat < 0 {
+			c.commLat = 0
+		}
+	}
+	c.commReady = true
+	return c.commLat, c.commRate
+}
+
+// MeanExecCost is component ci's execution estimate averaged over the
+// eligible resources (0 when none is eligible — Schedule reports the error).
+func (c *Context) MeanExecCost(ci int) float64 {
+	sum, count := 0.0, 0
+	for _, r := range c.Resources {
+		if core.Eligible(c.W.Components[ci], r) {
+			sum += c.ExecCost(ci, r)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// MeanCommCost is the mean cost of shipping component ci's output across
+// an edge (identical for all of ci's successors).
+func (c *Context) MeanCommCost(ci int) float64 {
+	bytes := c.W.Components[ci].OutputBytes
+	if bytes <= 0 {
+		return 0
+	}
+	lat, rate := c.commModel()
+	return lat + bytes*rate
+}
+
+// UpwardRanks computes rank_u for every component: its mean execution cost
+// plus the most expensive (comm + rank_u) path through its successors —
+// the length of the critical path from the component to an exit, under
+// mean costs. Ranks strictly decrease along every edge with positive
+// execution costs, so scheduling by decreasing rank_u is a topological
+// order.
+func UpwardRanks(ctx *Context) []float64 {
+	n := ctx.W.Len()
+	succs := ctx.W.Succs()
+	ranks := make([]float64, n)
+	for i := n - 1; i >= 0; i-- { // index order is topological (Add invariant)
+		tail := 0.0
+		for _, j := range succs[i] {
+			if v := ctx.MeanCommCost(i) + ranks[j]; v > tail {
+				tail = v
+			}
+		}
+		ranks[i] = ctx.MeanExecCost(i) + tail
+	}
+	return ranks
+}
+
+// DownwardRanks computes rank_d for every component: the longest mean-cost
+// path from an entry component to (but excluding) the component itself.
+// rank_u + rank_d is the length of the longest path through a component;
+// its maximum identifies the critical path (CPOP).
+func DownwardRanks(ctx *Context) []float64 {
+	n := ctx.W.Len()
+	ranks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := 0.0
+		for _, d := range ctx.W.Deps(i) {
+			if v := ranks[d] + ctx.MeanExecCost(d) + ctx.MeanCommCost(d); v > m {
+				m = v
+			}
+		}
+		ranks[i] = m
+	}
+	return ranks
+}

@@ -1,0 +1,154 @@
+package listsched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"grads/internal/core"
+)
+
+// TestUpwardRankMonotone: rank_u strictly decreases along every edge — the
+// predecessor's rank includes its own positive execution cost plus the path
+// through the successor, so scheduling by decreasing rank is topological.
+func TestUpwardRankMonotone(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		for _, z := range specs {
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, z, err)
+			}
+			ctx := NewContext(s, w, resources)
+			ranks := UpwardRanks(ctx)
+			for i := 0; i < w.Len(); i++ {
+				if ranks[i] <= 0 {
+					t.Fatalf("seed %d %s: rank[%d] = %v, want > 0", seed, z, i, ranks[i])
+				}
+				for _, d := range w.Deps(i) {
+					if ranks[d] <= ranks[i] {
+						t.Fatalf("seed %d %s: rank not monotone along edge %d→%d: %v <= %v",
+							seed, z, d, i, ranks[d], ranks[i])
+					}
+				}
+			}
+			down := DownwardRanks(ctx)
+			for i := 0; i < w.Len(); i++ {
+				for _, d := range w.Deps(i) {
+					if down[d] >= down[i] {
+						t.Fatalf("seed %d %s: rank_d not monotone along edge %d→%d: %v >= %v",
+							seed, z, d, i, down[d], down[i])
+					}
+				}
+				if len(w.Deps(i)) == 0 && down[i] != 0 {
+					t.Fatalf("seed %d %s: entry %d has rank_d %v, want 0", seed, z, i, down[i])
+				}
+			}
+		}
+	}
+}
+
+// randomTopoPerm draws a random topological insertion order of w: perm[k]
+// is the original index inserted k-th.
+func randomTopoPerm(rng *rand.Rand, w *core.Workflow) []int {
+	n := w.Len()
+	placed := make([]bool, n)
+	perm := make([]int, 0, n)
+	for len(perm) < n {
+		var ready []int
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			ok := true
+			for _, d := range w.Deps(i) {
+				if !placed[d] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		pick := ready[rng.Intn(len(ready))]
+		placed[pick] = true
+		perm = append(perm, pick)
+	}
+	return perm
+}
+
+// TestUpwardRankPermutationInvariant: ranks are a property of the DAG, not
+// of the insertion order — rebuilding the workflow under any topological
+// permutation of Add calls yields bitwise-identical ranks per component.
+func TestUpwardRankPermutationInvariant(t *testing.T) {
+	spec := ZooSpec{Class: ZooLayered, Layers: 4, Width: 6, Fanin: 3, CCR: 1.5}
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		w, err := spec.Build(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		perm := randomTopoPerm(rng, w)
+		newIdx := make([]int, w.Len())
+		w2 := core.NewWorkflow()
+		for k, old := range perm {
+			deps := make([]int, 0, len(w.Deps(old)))
+			for _, d := range w.Deps(old) {
+				deps = append(deps, newIdx[d])
+			}
+			sort.Ints(deps)
+			id, err := w2.AddChecked(w.Components[old], deps...)
+			if err != nil {
+				t.Fatalf("seed %d: permuted rebuild: %v", seed, err)
+			}
+			if id != k {
+				t.Fatalf("seed %d: permuted index %d, want %d", seed, id, k)
+			}
+			newIdx[old] = id
+		}
+
+		up1 := UpwardRanks(NewContext(s, w, resources))
+		up2 := UpwardRanks(NewContext(s, w2, resources))
+		down1 := DownwardRanks(NewContext(s, w, resources))
+		down2 := DownwardRanks(NewContext(s, w2, resources))
+		for i := 0; i < w.Len(); i++ {
+			if up1[i] != up2[newIdx[i]] {
+				t.Fatalf("seed %d: rank_u[%d] %v != permuted %v", seed, i, up1[i], up2[newIdx[i]])
+			}
+			if down1[i] != down2[newIdx[i]] {
+				t.Fatalf("seed %d: rank_d[%d] %v != permuted %v", seed, i, down1[i], down2[newIdx[i]])
+			}
+		}
+	}
+}
+
+// TestUpwardRankChain: on a chain the upward rank is the exact suffix sum of
+// mean execution and communication costs — a closed form cross-check.
+func TestUpwardRankChain(t *testing.T) {
+	z := ZooSpec{Class: ZooChain, N: 6, CCR: 1}
+	rng := rand.New(rand.NewSource(9))
+	g, s := testGrid(t, 9)
+	w, err := z.Build(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(s, w, g.Nodes())
+	ranks := UpwardRanks(ctx)
+	want := 0.0
+	for i := w.Len() - 1; i >= 0; i-- {
+		if i < w.Len()-1 {
+			want += ctx.MeanCommCost(i)
+		}
+		want += ctx.MeanExecCost(i)
+		if ranks[i] != want {
+			t.Fatalf("chain rank[%d] = %v, want suffix sum %v", i, ranks[i], want)
+		}
+	}
+}

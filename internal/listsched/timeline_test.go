@@ -1,0 +1,149 @@
+package listsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTimelineEarliestFit(t *testing.T) {
+	tl := NewTimeline()
+	if err := tl.Reserve(10, 5, "r1"); err != nil { // [10, 15)
+		t.Fatal(err)
+	}
+	if err := tl.Insert(20, 10, "a"); err != nil { // [20, 30)
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ready, dur, want float64
+	}{
+		{0, 5, 0},   // fits before everything
+		{0, 10, 0},  // exactly fills [0, 10)
+		{0, 11, 30}, // too big for both gaps: after everything
+		{0, 6, 0},   // head gap [0, 10) holds dur 6
+		{8, 3, 15},  // [8, 11) collides with r1: middle gap
+		{12, 2, 15}, // ready inside r1
+		{15, 5, 15}, // exactly fills the middle gap
+		{15, 6, 30}, // overruns into "a": goes after everything
+		{25, 1, 30}, // ready inside "a"
+		{40, 3, 40}, // after the end
+		{0, 0, 0},   // zero-length at ready
+		{10, 0, 10}, // zero-length at a slot boundary stays put
+	}
+	for _, tc := range cases {
+		if got := tl.EarliestFit(tc.ready, tc.dur); got != tc.want {
+			t.Errorf("EarliestFit(%v, %v) = %v, want %v", tc.ready, tc.dur, got, tc.want)
+		}
+	}
+}
+
+func TestTimelineInsertErrors(t *testing.T) {
+	tl := NewTimeline()
+	if err := tl.Insert(10, 10, "a"); err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name       string
+		start, dur float64
+	}{
+		{"overlap-left", 5, 6},
+		{"overlap-right", 19, 5},
+		{"contained", 12, 2},
+		{"covers", 5, 30},
+		{"negative-dur", 0, -1},
+		{"nan", math.NaN(), 1},
+		{"inf", math.Inf(1), 1},
+	}
+	for _, tc := range bad {
+		if err := tl.Insert(tc.start, tc.dur, tc.name); err == nil {
+			t.Errorf("%s: Insert(%v, %v) succeeded, want error", tc.name, tc.start, tc.dur)
+		}
+	}
+	// Touching slots are legal.
+	if err := tl.Insert(20, 5, "b"); err != nil {
+		t.Fatalf("touching insert failed: %v", err)
+	}
+	if err := tl.Insert(5, 5, "c"); err != nil {
+		t.Fatalf("left-touching insert failed: %v", err)
+	}
+	if err := tl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.End(); got != 25 {
+		t.Fatalf("End = %v, want 25", got)
+	}
+	if got := tl.Busy(); got != 20 {
+		t.Fatalf("Busy = %v, want 20", got)
+	}
+}
+
+// TestTimelineFitNeverOverlaps drives random fit-then-insert rounds and
+// checks the invariants after every step: whatever EarliestFit returns must
+// insert cleanly.
+func TestTimelineFitNeverOverlaps(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tl := NewTimeline()
+		for i := 0; i < 200; i++ {
+			ready := rng.Float64() * 500
+			dur := rng.Float64() * 30
+			start := tl.EarliestFit(ready, dur)
+			if start < ready {
+				t.Fatalf("seed %d: EarliestFit(%v, %v) = %v < ready", seed, ready, dur, start)
+			}
+			if err := tl.Insert(start, dur, "x"); err != nil {
+				t.Fatalf("seed %d: fit %v did not insert: %v", seed, start, err)
+			}
+			if err := tl.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, i, err)
+			}
+		}
+	}
+}
+
+// TestTimelineFitIsEarliest cross-checks EarliestFit against a brute-force
+// scan over candidate starts (gap edges and the ready instant).
+func TestTimelineFitIsEarliest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		tl := NewTimeline()
+		for i := 0; i < 20; i++ {
+			s := rng.Float64() * 300
+			d := rng.Float64() * 20
+			_ = tl.Insert(tl.EarliestFit(s, d), d, "x")
+		}
+		ready := rng.Float64() * 300
+		dur := rng.Float64() * 25
+		got := tl.EarliestFit(ready, dur)
+
+		fits := func(start float64) bool {
+			if start < ready {
+				return false
+			}
+			for _, s := range tl.Slots() {
+				if s.Start < start+dur && start < s.End {
+					return false
+				}
+			}
+			return true
+		}
+		if !fits(got) {
+			t.Fatalf("trial %d: EarliestFit(%v, %v) = %v does not fit", trial, ready, dur, got)
+		}
+		// No candidate start strictly earlier than got may fit: candidates
+		// are ready itself and every slot end.
+		for _, cand := range append([]float64{ready}, slotEnds(tl)...) {
+			if cand < got && fits(cand) {
+				t.Fatalf("trial %d: EarliestFit(%v, %v) = %v but %v fits earlier", trial, ready, dur, got, cand)
+			}
+		}
+	}
+}
+
+func slotEnds(tl *Timeline) []float64 {
+	ends := make([]float64, 0, len(tl.Slots()))
+	for _, s := range tl.Slots() {
+		ends = append(ends, s.End)
+	}
+	return ends
+}

@@ -1,0 +1,277 @@
+package listsched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"grads/internal/core"
+	"grads/internal/topology"
+)
+
+// TestScheduleValidity is the property harness entry point: every heuristic
+// × every zoo class × 20 seeds, with advance reservations seeded onto the
+// timelines, must produce a schedule CheckResult accepts.
+func TestScheduleValidity(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		for _, z := range specs {
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, z, err)
+			}
+			for _, name := range Names() {
+				h, err := New(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctx := NewContext(s, w, resources)
+				// Two disjoint advance reservations on rng-chosen resources;
+				// the schedule must flow around them and leave them intact.
+				for j := 0; j < 2; j++ {
+					ri := rng.Intn(len(resources))
+					start := float64(j)*100 + rng.Float64()*50
+					dur := 1 + rng.Float64()*20
+					if err := ctx.Reserve(ri, start, dur, fmt.Sprintf("resv%d", j)); err != nil {
+						t.Fatalf("seed %d %s %s: reserve: %v", seed, z, name, err)
+					}
+				}
+				res, err := h.Schedule(ctx)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				if err := CheckResult(ctx, res); err != nil {
+					t.Errorf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				if res.Makespan <= 0 {
+					t.Errorf("seed %d %s %s: makespan %v", seed, z, name, res.Makespan)
+				}
+				if u := res.Utilization(); u <= 0 || u > 1 {
+					t.Errorf("seed %d %s %s: utilization %v outside (0, 1]", seed, z, name, u)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckResultCatchesViolations corrupts valid schedules one invariant at
+// a time and requires the harness to object — the harness must not be
+// vacuously green.
+func TestCheckResultCatchesViolations(t *testing.T) {
+	g, s := testGrid(t, 1)
+	resources := g.Nodes()
+	w, err := (ZooSpec{Class: ZooDiamond, Width: 3, Layers: 2, CCR: 1}).Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := func() (*Context, *Result) {
+		ctx := NewContext(s, w, resources)
+		if err := ctx.Reserve(0, 5, 10, "hold"); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := New(HEFT)
+		res, err := h.Schedule(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctx, res
+	}
+
+	// Baseline sanity: untouched result passes.
+	ctx, res := schedule()
+	if err := CheckResult(ctx, res); err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	t.Run("precedence", func(t *testing.T) {
+		ctx, res := schedule()
+		// Pull a non-entry component's start before its predecessor's finish.
+		for i := w.Len() - 1; i >= 0; i-- {
+			if len(w.Deps(i)) > 0 {
+				res.Assignments[i].Start = 0
+				break
+			}
+		}
+		if CheckResult(ctx, res) == nil {
+			t.Fatal("precedence violation not caught")
+		}
+	})
+	t.Run("makespan", func(t *testing.T) {
+		ctx, res := schedule()
+		res.Makespan *= 2
+		if CheckResult(ctx, res) == nil {
+			t.Fatal("wrong makespan not caught")
+		}
+	})
+	t.Run("duration", func(t *testing.T) {
+		ctx, res := schedule()
+		res.Assignments[0].Finish += 1
+		if CheckResult(ctx, res) == nil {
+			t.Fatal("duration drift not caught")
+		}
+	})
+	t.Run("reservation-clobbered", func(t *testing.T) {
+		ctx, res := schedule()
+		// Drop the reservation from its timeline behind the context's back.
+		for _, tl := range res.Timelines {
+			kept := tl.Slots()[:0:0]
+			for _, sl := range tl.Slots() {
+				if !sl.Reserved {
+					kept = append(kept, sl)
+				}
+			}
+			tl.slots = kept
+		}
+		if CheckResult(ctx, res) == nil {
+			t.Fatal("clobbered reservation not caught")
+		}
+	})
+	t.Run("unknown-resource", func(t *testing.T) {
+		ctx, res := schedule()
+		g2, _ := testGrid(t, 2)
+		res.Assignments[0].Node = g2.Nodes()[0]
+		if CheckResult(ctx, res) == nil {
+			t.Fatal("foreign resource not caught")
+		}
+	})
+}
+
+// TestExecuteStaticReproducesPlan: with a zero perturbation, replaying any
+// heuristic's plan returns exactly the planned assignments and makespan.
+func TestExecuteStaticReproducesPlan(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		for _, z := range specs {
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range Names() {
+				h, _ := New(name)
+				ctx := NewContext(s, w, resources)
+				if err := ctx.Reserve(rng.Intn(len(resources)), rng.Float64()*30, 5, "hold"); err != nil {
+					t.Fatal(err)
+				}
+				res, err := h.Schedule(ctx)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				actual, makespan, err := ExecuteStatic(ctx, res, Perturbation{})
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				if makespan != res.Makespan {
+					t.Fatalf("seed %d %s %s: executed makespan %v != planned %v",
+						seed, z, name, makespan, res.Makespan)
+				}
+				for i, a := range actual {
+					p := res.Assignments[i]
+					if a.Node != p.Node || a.Start != p.Start || a.Finish != p.Finish {
+						t.Fatalf("seed %d %s %s: component %d executed %+v != planned %+v",
+							seed, z, name, i, a, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExecuteStaticPerturbed: degrading a node mid-run keeps the execution
+// feasible — no overlap per node, precedence holds on actual times,
+// reservations stay clear — and can only lengthen the makespan.
+func TestExecuteStaticPerturbed(t *testing.T) {
+	specs := parseSuite(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, s := testGrid(t, seed)
+		resources := g.Nodes()
+		for _, z := range specs {
+			w, err := z.Build(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range Names() {
+				h, _ := New(name)
+				ctx := NewContext(s, w, resources)
+				if err := ctx.Reserve(0, 10, 8, "hold"); err != nil {
+					t.Fatal(err)
+				}
+				res, err := h.Schedule(ctx)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				pert := Perturbation{
+					Node:   resources[rng.Intn(len(resources))],
+					At:     res.Makespan / 2,
+					Factor: 3,
+				}
+				actual, makespan, err := ExecuteStatic(ctx, res, pert)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, z, name, err)
+				}
+				if makespan+1e-9 < res.Makespan {
+					t.Fatalf("seed %d %s %s: perturbed makespan %v < planned %v",
+						seed, z, name, makespan, res.Makespan)
+				}
+				checkExecution(t, ctx, res, actual)
+			}
+		}
+	}
+}
+
+// checkExecution verifies feasibility of an executed assignment set: per-node
+// non-overlap (including the advance reservations) and precedence under the
+// result's communication semantics.
+func checkExecution(t *testing.T, ctx *Context, res *Result, actual []core.Assignment) {
+	t.Helper()
+	nodes := make([]*topology.Node, len(actual))
+	finish := make([]float64, len(actual))
+	for i, a := range actual {
+		nodes[i], finish[i] = a.Node, a.Finish
+	}
+	for i, a := range actual {
+		rb := ctx.readyBound(i, a.Node, finish, nodes, res.CommInStart)
+		if a.Start+1e-9*math.Max(1, rb) < rb {
+			t.Fatalf("executed component %d starts %v before ready bound %v", i, a.Start, rb)
+		}
+	}
+	for k, r := range ctx.Resources {
+		type iv struct {
+			start, end float64
+			what       string
+		}
+		var ivs []iv
+		for _, s := range ctx.Reservations(k) {
+			ivs = append(ivs, iv{s.Start, s.End, "reservation " + s.Label})
+		}
+		for i, a := range actual {
+			if a.Node == r {
+				ivs = append(ivs, iv{a.Start, a.Finish, SlotLabel(i)})
+			}
+		}
+		sortBy2(ivs, func(a, b iv) bool { return a.start < b.start })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].start < ivs[i-1].end {
+				t.Fatalf("%s: %s [%v, %v) overlaps %s [%v, %v)", r.Name(),
+					ivs[i-1].what, ivs[i-1].start, ivs[i-1].end,
+					ivs[i].what, ivs[i].start, ivs[i].end)
+			}
+		}
+	}
+}
+
+// sortBy2 is a tiny generic insertion sort for the execution checks.
+func sortBy2[T any](xs []T, less func(a, b T) bool) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && less(xs[j], xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
